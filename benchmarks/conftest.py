@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Set ``ESD_BENCH_SCALE``
+(e.g. ``0.3``) to shrink the stand-in datasets for a quick pass.
+"""
+
+import pytest
+
+from repro.bench import bench_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

@@ -1,0 +1,16 @@
+"""Exp-5 / Fig. 10: PESDIndex+ scalability at 1 vs 20 threads."""
+
+from repro.bench import emit
+from repro.bench.experiments import run_exp5_fig10
+
+
+def test_fig10_series(benchmark, capsys, scale):
+    tables = benchmark.pedantic(lambda: run_exp5_fig10(scale), rounds=1)
+    emit(tables, "fig10", capsys)
+    (table,) = tables
+    t1 = [row[2] for row in table.rows]
+    speedups = [row[4] for row in table.rows]
+    # Paper shape: t=1 runtime grows smoothly with subgraph size ...
+    assert t1[-1] > t1[0]
+    # ... and the 20-thread speedup stays in a healthy band on all sizes.
+    assert all(s > 3 for s in speedups)

@@ -1,0 +1,27 @@
+"""Exp-6 / Fig. 11: dynamic maintenance vs reconstruction."""
+
+from repro.bench import dataset, emit
+from repro.bench.experiments import run_exp6_fig11
+from repro.core import DynamicESDIndex
+
+
+def test_fig11_series(benchmark, capsys, scale):
+    tables = benchmark.pedantic(lambda: run_exp6_fig11(scale), rounds=1)
+    emit(tables, "fig11", capsys)
+    (table,) = tables
+    for _name, build, avg_insert, avg_delete in table.rows:
+        # Paper shape: maintenance is far cheaper than reconstruction.
+        assert avg_insert < build / 5
+        assert avg_delete < build / 5
+
+
+def test_single_insert_delete_roundtrip(benchmark, scale):
+    """Representative op: one delete+insert pair on the youtube stand-in."""
+    dyn = DynamicESDIndex(dataset("youtube", scale))
+    edge = dyn.graph.edge_list()[0]
+
+    def roundtrip():
+        dyn.delete_edge(*edge)
+        dyn.insert_edge(*edge)
+
+    benchmark.pedantic(roundtrip, rounds=10, iterations=1)

@@ -1,0 +1,22 @@
+"""Exp-7 / Fig. 12: DBLP case study -- ESD vs CN vs BT top edges."""
+
+from repro.bench import emit
+from repro.bench.experiments import run_exp7_fig12
+
+
+def test_fig12_case_study(benchmark, capsys):
+    tables = benchmark.pedantic(run_exp7_fig12, rounds=1)
+    emit(tables, "fig12", capsys)
+    (table,) = tables
+    esd = [row for row in table.rows if row[0] == "ESD"]
+    cn = [row for row in table.rows if row[0] == "CN"]
+    bt = [row for row in table.rows if row[0] == "BT"]
+    # Paper shape: ESD edges have many ego components across many
+    # communities; CN edges have at most 2 components; BT edges share few
+    # common neighbors.
+    assert min(row[2] for row in esd) >= 3
+    assert min(row[3] for row in esd) >= 3
+    assert max(row[2] for row in cn) <= 2
+    avg_cn_common = sum(row[4] for row in cn) / len(cn)
+    avg_bt_common = sum(row[4] for row in bt) / len(bt)
+    assert avg_bt_common < avg_cn_common

@@ -1,0 +1,17 @@
+"""Exp-8 / Fig. 13: word association case study (tau=2, k=2)."""
+
+from repro.bench import emit
+from repro.bench.experiments import run_exp8_fig13
+
+
+def test_fig13_case_study(benchmark, capsys):
+    tables = benchmark.pedantic(run_exp8_fig13, rounds=1)
+    emit(tables, "fig13", capsys)
+    (table,) = tables
+    edges = [row[0] for row in table.rows]
+    scores = [row[1] for row in table.rows]
+    # Paper shape: (bank, money) tops the list with 6 semantic contexts.
+    assert edges[0] == "(bank, money)"
+    assert scores[0] == 6
+    # The runner-up is the other planted polysemous pair.
+    assert "wood" in edges[1] or "house" in edges[1]

@@ -1,0 +1,30 @@
+"""Exp-1 / Fig. 5: OnlineBFS vs OnlineBFS+ with varying k and tau."""
+
+from repro.bench import DEFAULT_TAU, dataset, emit
+from repro.bench.experiments import run_exp1_fig5
+from repro.core import topk_online
+
+
+def test_fig5_series(benchmark, capsys, scale):
+    tables = benchmark.pedantic(lambda: run_exp1_fig5(scale), rounds=1)
+    emit(tables, "fig5", capsys)
+    # Paper shape: the tighter bound never evaluates more edges exactly.
+    for table in tables:
+        for row in table.rows:
+            _, _t_md, _t_cn, evals_md, evals_cn = row
+            assert evals_cn <= evals_md
+
+
+def test_online_bfs_plus_default_query(benchmark, scale):
+    """Representative op: OnlineBFS+ at the default (k=100, tau=3)."""
+    graph = dataset("pokec", scale)
+    results = benchmark(lambda: topk_online(graph, 100, DEFAULT_TAU))
+    assert len(results) == 100
+
+
+def test_online_bfs_min_degree_query(benchmark, scale):
+    graph = dataset("pokec", scale)
+    results = benchmark(
+        lambda: topk_online(graph, 100, DEFAULT_TAU, bound="min-degree")
+    )
+    assert len(results) == 100

@@ -1,0 +1,24 @@
+"""Exp-3 / Fig. 7: PESDIndex+ speedup ratio vs thread count."""
+
+from repro.bench import dataset, emit
+from repro.bench.experiments import run_exp3_fig7
+from repro.core import build_index_parallel
+
+
+def test_fig7_series(benchmark, capsys, scale):
+    tables = benchmark.pedantic(lambda: run_exp3_fig7(scale), rounds=1)
+    emit(tables, "fig7", capsys)
+    for table in tables:
+        speedups = [row[1] for row in table.rows]
+        # Paper shape: speedup grows with threads (near-linear early on).
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 4  # t=20 well above serial
+
+
+def test_parallel_build_pokec(benchmark, scale):
+    """Real pool execution (single-core container: expect ~no speedup)."""
+    graph = dataset("pokec", scale)
+    index = benchmark.pedantic(
+        lambda: build_index_parallel(graph, threads=2), rounds=2, iterations=1
+    )
+    assert index.edge_count > 0

@@ -1,0 +1,40 @@
+"""Exp-4 / Fig. 8: OnlineBFS+ vs IndexSearch across datasets, k and tau."""
+
+import pytest
+
+from repro.bench import DEFAULT_K, DEFAULT_TAU, dataset, emit
+from repro.bench.experiments import run_exp4_fig8
+from repro.core import build_index_fast
+
+
+def test_fig8_series(benchmark, capsys, scale):
+    tables = benchmark.pedantic(lambda: run_exp4_fig8(scale), rounds=1)
+    emit(tables, "fig8", capsys)
+    by_k, by_tau = tables
+    # Paper shape: IndexSearch beats OnlineBFS+ by a large factor everywhere.
+    for row in by_k.rows + by_tau.rows:
+        assert row[4] >= 10  # speedup column
+    # Paper shape: IndexSearch is robust w.r.t. tau (all times tiny).
+    index_times = [row[3] for row in by_tau.rows]
+    assert max(index_times) < 0.05
+
+
+@pytest.fixture(scope="module")
+def pokec_index(scale):
+    return build_index_fast(dataset("pokec", scale))
+
+
+def test_index_search_default(benchmark, pokec_index):
+    """Representative op: the paper's headline sub-millisecond query."""
+    results = benchmark(lambda: pokec_index.topk(DEFAULT_K, DEFAULT_TAU))
+    assert len(results) <= DEFAULT_K
+
+
+def test_index_search_k1(benchmark, pokec_index):
+    results = benchmark(lambda: pokec_index.topk(1, DEFAULT_TAU))
+    assert len(results) <= 1
+
+
+def test_index_search_k200_tau1(benchmark, pokec_index):
+    results = benchmark(lambda: pokec_index.topk(200, 1))
+    assert len(results) == 200

@@ -1,0 +1,16 @@
+"""Exp-5 / Fig. 9: scalability on random edge/vertex subgraphs."""
+
+from repro.bench import emit
+from repro.bench.experiments import run_exp5_fig9
+
+
+def test_fig9_series(benchmark, capsys, scale):
+    tables = benchmark.pedantic(lambda: run_exp5_fig9(scale), rounds=1)
+    emit(tables, "fig9", capsys)
+    for table in tables:
+        online_times = [row[2] for row in table.rows]
+        index_times = [row[3] for row in table.rows]
+        # Paper shape: OnlineBFS+ grows with graph size ...
+        assert online_times[-1] >= online_times[0]
+        # ... while IndexSearch stays flat (sub-10ms at every size).
+        assert max(index_times) < 0.05

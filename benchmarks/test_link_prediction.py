@@ -1,0 +1,19 @@
+"""Extra experiment: pair-diversity link prediction (Dong et al. [3])."""
+
+from repro.bench import emit
+from repro.bench.experiments import run_link_prediction
+
+
+def test_link_prediction_series(benchmark, capsys, scale):
+    tables = benchmark.pedantic(lambda: run_link_prediction(scale), rounds=1)
+    emit(tables, "link_prediction", capsys)
+    (table,) = tables
+    best = {}
+    for ds, _pred, p10, _p50, _p100, baseline in table.rows:
+        top, _base = best.get(ds, (0.0, 0.0))
+        best[ds] = (max(top, p10), baseline)
+    for ds, (top_p10, baseline) in best.items():
+        # The best structural predictor clearly beats random guessing
+        # among candidates (individual predictors vary by graph shape).
+        assert top_p10 >= 0.2, ds
+        assert top_p10 >= 2 * baseline, ds

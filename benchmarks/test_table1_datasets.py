@@ -1,0 +1,20 @@
+"""Table I: dataset statistics for the five stand-ins."""
+
+from repro.bench import dataset, emit
+from repro.bench.experiments import run_table1
+from repro.graph import graph_stats
+
+
+def test_table1_statistics(benchmark, capsys, scale):
+    tables = benchmark.pedantic(lambda: run_table1(scale), rounds=1)
+    emit(tables, "table1", capsys)
+    # Paper shape: size ordering youtube < ... < livejournal holds.
+    ms = [row[2] for row in tables[0].rows]
+    assert ms == sorted(ms)
+
+
+def test_degeneracy_computation(benchmark, scale):
+    """Microbenchmark: the Table I degeneracy column on the largest graph."""
+    graph = dataset("livejournal", scale)
+    stats = benchmark(lambda: graph_stats(graph))
+    assert stats.degeneracy > 0

@@ -1,0 +1,16 @@
+"""Extra experiment: score distribution vs tau (Exp-7 discussion)."""
+
+from repro.bench import emit
+from repro.bench.experiments import run_tau_sensitivity
+
+
+def test_tau_sensitivity_series(benchmark, capsys, scale):
+    tables = benchmark.pedantic(lambda: run_tau_sensitivity(scale), rounds=1)
+    emit(tables, "tau_sensitivity", capsys)
+    (table,) = tables
+    # Paper shape: positive-score edge counts fall monotonically with tau.
+    by_dataset = {}
+    for name, tau, positive, _mx, _p99 in table.rows:
+        by_dataset.setdefault(name, []).append(positive)
+    for series in by_dataset.values():
+        assert series == sorted(series, reverse=True)

@@ -1,0 +1,61 @@
+"""Collaboration-network scenario: find community-bridging author pairs.
+
+Reproduces the paper's Exp-7 case study on a DBLP-like co-authorship
+graph.  Three rankings are contrasted:
+
+* **ESD** (this paper): top edges are pairs of co-authors whose shared
+  collaborators split into many components, each in a different research
+  community -- "bridge" pairs with strong ties.
+* **CN** (common neighbors): top edges are prolific same-community pairs;
+  many shared collaborators but one dense blob (<= 2 components).
+* **BT** (edge betweenness): top edges are weak barbell links between
+  communities with almost no shared collaborators.
+
+Run:  python examples/collaboration_bridges.py
+"""
+
+from repro import build_index_fast, topk_common_neighbors, topk_edge_betweenness
+from repro.analytics import communities_touched, label_propagation
+from repro.graph import components_of_subset
+from repro.graph.datasets import db_subgraph
+
+
+def describe(graph, labels, edge) -> str:
+    u, v = edge
+    common = graph.common_neighbors(u, v)
+    components = components_of_subset(graph, common)
+    big = [c for c in components if len(c) >= 2]
+    communities = communities_touched(labels, common)
+    return (
+        f"({u}, {v}): {len(common)} shared collaborators, "
+        f"{len(big)} social contexts, {communities} communities"
+    )
+
+
+def main() -> None:
+    graph = db_subgraph()
+    print(f"DB collaboration graph: {graph.n} authors, {graph.m} co-authorships\n")
+    labels = label_propagation(graph, seed=3)
+    index = build_index_fast(graph)
+
+    print("Top-3 edges by structural diversity (tau=2) -- community bridges:")
+    for edge, score in index.topk(k=3, tau=2):
+        print(f"  ESD={score}  {describe(graph, labels, edge)}")
+
+    print("\nTop-3 edges by common neighbors -- dense single-community pairs:")
+    for edge, count in topk_common_neighbors(graph, 3):
+        print(f"  CN={count}  {describe(graph, labels, edge)}")
+
+    print("\nTop-3 edges by betweenness -- weak cross-community links:")
+    for edge, bt in topk_edge_betweenness(graph, 3):
+        print(f"  BT={bt:.4f}  {describe(graph, labels, edge)}")
+
+    print(
+        "\nReading: ESD edges combine many contexts with a strong tie; CN "
+        "edges are strong but context-poor; BT edges span communities but "
+        "the tie itself is weak (few shared collaborators)."
+    )
+
+
+if __name__ == "__main__":
+    main()

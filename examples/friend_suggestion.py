@@ -1,0 +1,62 @@
+"""Friend-suggestion scenario: predict missing links with pair diversity.
+
+Dong et al. (the paper's reference [3]) introduced structural diversity
+for arbitrary vertex pairs and named friend suggestion as its killer
+application: pairs whose shared friends span several social contexts are
+strong candidates for a future tie.  This example hides 10% of a
+network's edges, ranks the non-adjacent 2-hop pairs with three
+predictors, and reports how many hidden friendships each one recovers.
+
+Run:  python examples/friend_suggestion.py
+"""
+
+from repro import load_dataset
+from repro.core import (
+    link_prediction_experiment,
+    pair_structural_diversity,
+    topk_pairs_online,
+)
+
+
+def main() -> None:
+    graph = load_dataset("dblp", scale=0.6)
+    print(f"Network: {graph.n} users, {graph.m} friendships\n")
+
+    # --- who would we suggest right now? -----------------------------
+    print("Top-5 non-adjacent pairs by structural diversity (tau=1):")
+    for (u, v), score in topk_pairs_online(graph, k=5, tau=1):
+        common = len(graph.common_neighbors(u, v))
+        print(f"  suggest {u} <-> {v}: {score} shared contexts "
+              f"({common} mutual friends)")
+
+    # --- does it find real (hidden) links? -----------------------------
+    ks = (10, 50, 100)
+    print("\nHiding 10% of the edges and ranking candidates:")
+    print(f"  {'predictor':<18}" + "".join(f"p@{k:<8}" for k in ks))
+    for result in link_prediction_experiment(
+        graph, hide_fraction=0.1, ks=ks, seed=7
+    ):
+        row = "".join(f"{result.precision_at[k]:<10.3f}" for k in ks)
+        print(f"  {result.predictor:<18}{row}")
+
+    # --- inspect one suggestion ------------------------------------------
+    (pair, score), *_ = topk_pairs_online(graph, k=1, tau=1)
+    print(f"\nWhy suggest {pair}? Their {len(graph.common_neighbors(*pair))} "
+          f"mutual friends split into {score} separate groups:")
+    from repro.graph import components_of_subset
+
+    for component in sorted(
+        components_of_subset(graph, graph.common_neighbors(*pair)),
+        key=len, reverse=True,
+    ):
+        print(f"  group: {sorted(component)}")
+    print(
+        "\nReading: a pair backed by several independent friend groups is "
+        "connected through multiple social contexts at once -- Dong et "
+        "al.'s signal that a real tie is likely."
+    )
+    assert pair_structural_diversity(graph, *pair) == score
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Viral-marketing scenario: diverse edges spread across communities.
+
+The paper's motivation (after Ugander et al.): adoption probability grows
+with the number of *social contexts* among a user's adopting neighbors.
+High edge-structural-diversity edges sit at the crossroads of many
+contexts, so cascades seeded there should *diversify* -- reach many
+communities -- even when count-based seeds (common neighbors, degree)
+reach similar raw volume inside one region.
+
+This example runs the diversity-driven cascade on a collaboration graph
+with planted communities and measures both raw reach and the number of
+communities the cascade penetrates.
+
+Run:  python examples/viral_seeding.py
+"""
+
+from repro import build_index_fast, topk_common_neighbors
+from repro.analytics import diversity_cascade, label_propagation
+from repro.graph.datasets import db_subgraph
+
+
+def seed_pairs(ranked, budget):
+    """First `budget` distinct vertices from a ranked edge list."""
+    seeds = []
+    for (u, v), _score in ranked:
+        for x in (u, v):
+            if x not in seeds:
+                seeds.append(x)
+            if len(seeds) == budget:
+                return seeds
+    return seeds
+
+
+def communities_reached(labels, adopted, threshold=3):
+    """Communities with at least `threshold` adopters."""
+    counts = {}
+    for u in adopted:
+        counts[labels[u]] = counts.get(labels[u], 0) + 1
+    return sum(1 for c in counts.values() if c >= threshold)
+
+
+def main() -> None:
+    graph = db_subgraph()
+    labels = label_propagation(graph, seed=3)
+    print(f"Collaboration network: {graph.n} authors, {graph.m} edges")
+
+    budget, trials, rate = 4, 8, 0.05
+    index = build_index_fast(graph)
+    esd_seeds = seed_pairs(index.topk(budget, 2), budget)
+    cn_seeds = seed_pairs(topk_common_neighbors(graph, budget), budget)
+    degree_seeds = sorted(graph.vertices(), key=lambda u: -graph.degree(u))[:budget]
+
+    print(f"\nSeeding {budget} authors, diversity-driven cascade "
+          f"(adoption rate {rate}), {trials} trials each:\n")
+    print(f"  {'strategy':<16}{'mean reach':>12}{'mean communities':>20}")
+    for label, seeds in [
+        ("ESD top edges", esd_seeds),
+        ("CN top edges", cn_seeds),
+        ("highest degree", degree_seeds),
+    ]:
+        sizes, comms = [], []
+        for t in range(trials):
+            result = diversity_cascade(
+                graph, seeds, adoption_rate=rate, seed=100 + t
+            )
+            sizes.append(result.size)
+            comms.append(communities_reached(labels, result.adopted))
+        print(f"  {label:<16}{sum(sizes) / trials:>12.1f}"
+              f"{sum(comms) / trials:>20.1f}")
+
+    print(
+        "\nReading: between the paper's two edge rankings, ESD seeds reach "
+        "several times more users and communities than CN seeds -- the "
+        "'bridge' role the case study ascribes to high-structural-"
+        "diversity edges, versus CN's dense single-community pairs.  Raw "
+        "degree hubs reach further still, but that is vertex-count "
+        "information; among *edge*-structure signals, diversity wins."
+    )
+
+
+if __name__ == "__main__":
+    main()

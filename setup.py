@@ -1,0 +1,9 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+``pip install -e . --no-build-isolation`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro: efficient top-k edge structural diversity search.
+
+A from-scratch Python reproduction of *Efficient Top-k Edge Structural
+Diversity Search* (Zhang, Li, Yang, Wang, Qin -- ICDE 2020): the
+dequeue-twice online search framework, the ESDIndex with basic /
+4-clique-based / parallel construction, dynamic index maintenance, and
+the evaluation harness.
+
+Quickstart::
+
+    from repro import Graph, build_index_fast, topk_online
+
+    g = Graph([(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)])
+    print(topk_online(g, k=2, tau=1))          # online search
+    index = build_index_fast(g)
+    print(index.topk(k=2, tau=1))              # index-based search
+"""
+
+from repro.core import (
+    DynamicESDIndex,
+    ESDIndex,
+    all_edge_structural_diversities,
+    build_index_basic,
+    build_index_fast,
+    build_index_parallel,
+    edge_structural_diversity,
+    online_bfs,
+    online_bfs_plus,
+    topk_common_neighbors,
+    topk_edge_betweenness,
+    topk_exact,
+    topk_online,
+    topk_vertex_online,
+    vertex_structural_diversity,
+)
+from repro.graph import (
+    DATASET_NAMES,
+    Graph,
+    canonical_edge,
+    load_dataset,
+    paper_example_graph,
+    read_edge_list,
+    write_edge_list,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # graph substrate
+    "Graph",
+    "canonical_edge",
+    "load_dataset",
+    "DATASET_NAMES",
+    "paper_example_graph",
+    "read_edge_list",
+    "write_edge_list",
+    # scores
+    "edge_structural_diversity",
+    "all_edge_structural_diversities",
+    "vertex_structural_diversity",
+    # search
+    "topk_online",
+    "online_bfs",
+    "online_bfs_plus",
+    "topk_exact",
+    "topk_vertex_online",
+    # index
+    "ESDIndex",
+    "build_index_basic",
+    "build_index_fast",
+    "build_index_parallel",
+    "DynamicESDIndex",
+    # baselines
+    "topk_common_neighbors",
+    "topk_edge_betweenness",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Analytics used by case studies: betweenness, communities, contagion."""
+
+from repro.analytics.betweenness import edge_betweenness, topk_edge_betweenness
+from repro.analytics.communities import (
+    communities_from_labels,
+    communities_touched,
+    label_propagation,
+)
+from repro.analytics.contagion import (
+    CascadeResult,
+    diversity_cascade,
+    expected_reach,
+)
+from repro.analytics.render import render_ego_network
+from repro.analytics.truss import (
+    k_truss_subgraph,
+    max_truss,
+    topk_truss_edges,
+    truss_numbers,
+)
+
+__all__ = [
+    "edge_betweenness",
+    "topk_edge_betweenness",
+    "label_propagation",
+    "communities_from_labels",
+    "communities_touched",
+    "CascadeResult",
+    "diversity_cascade",
+    "expected_reach",
+    "render_ego_network",
+    "truss_numbers",
+    "max_truss",
+    "k_truss_subgraph",
+    "topk_truss_edges",
+]

@@ -1,0 +1,96 @@
+"""Structural-diversity-driven social contagion simulation.
+
+Ugander et al. (the paper's motivating reference [1]) showed that the
+probability a user joins a contagion grows with the number of connected
+components among its already-infected neighbors, not with their count.
+This module simulates exactly that adoption rule, so the examples can
+demonstrate the paper's motivating claim: seeding a cascade across the
+endpoints of high edge-structural-diversity edges reaches more of the
+network than seeding around high common-neighbor edges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Set
+
+from repro.graph.components import components_of_subset
+from repro.graph.graph import Graph, Vertex
+
+
+@dataclass(frozen=True)
+class CascadeResult:
+    """Outcome of one contagion simulation."""
+
+    adopted: Set[Vertex]
+    rounds: int
+
+    @property
+    def size(self) -> int:
+        return len(self.adopted)
+
+
+def diversity_cascade(
+    graph: Graph,
+    seeds: Iterable[Vertex],
+    adoption_rate: float = 0.35,
+    max_rounds: int = 30,
+    seed: int = 0,
+) -> CascadeResult:
+    """Run a cascade where adoption depends on *structural diversity*.
+
+    Each round, a susceptible vertex ``u`` observes the connected
+    components among its adopted neighbors (its infected social contexts)
+    and adopts with probability ``1 - (1 - adoption_rate) ** contexts`` --
+    one independent chance per context, the Ugander et al. effect.
+    """
+    if not 0.0 <= adoption_rate <= 1.0:
+        raise ValueError(f"adoption_rate must be in [0, 1], got {adoption_rate}")
+    rng = random.Random(seed)
+    adopted: Set[Vertex] = {s for s in seeds if s in graph}
+    rounds = 0
+    frontier_changed = True
+    while frontier_changed and rounds < max_rounds:
+        rounds += 1
+        frontier_changed = False
+        candidates = sorted(
+            {
+                v
+                for u in adopted
+                for v in graph.neighbors(u)
+                if v not in adopted
+            }
+        )
+        newly: List[Vertex] = []
+        for v in candidates:
+            infected_neighbors = {w for w in graph.neighbors(v) if w in adopted}
+            contexts = len(components_of_subset(graph, infected_neighbors))
+            if contexts == 0:
+                continue
+            p = 1.0 - (1.0 - adoption_rate) ** contexts
+            if rng.random() < p:
+                newly.append(v)
+        if newly:
+            adopted.update(newly)
+            frontier_changed = True
+    return CascadeResult(adopted=adopted, rounds=rounds)
+
+
+def expected_reach(
+    graph: Graph,
+    seeds: Iterable[Vertex],
+    trials: int = 10,
+    adoption_rate: float = 0.35,
+    seed: int = 0,
+) -> float:
+    """Mean cascade size over ``trials`` independent simulations."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    seeds = list(seeds)
+    total = 0
+    for t in range(trials):
+        total += diversity_cascade(
+            graph, seeds, adoption_rate=adoption_rate, seed=seed + t
+        ).size
+    return total / trials

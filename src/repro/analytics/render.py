@@ -1,0 +1,73 @@
+"""Plain-text rendering of edge ego-networks (Fig. 12/13 style).
+
+The paper's case-study figures draw each top edge's ego-network with its
+connected components grouped.  For a terminal-first library the same
+information renders as indented component blocks; the case-study
+benchmarks and examples use this to make their output self-explanatory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.graph.components import components_of_subset
+from repro.graph.graph import Graph, Vertex
+
+
+def render_ego_network(
+    graph: Graph,
+    u: Vertex,
+    v: Vertex,
+    tau: int = 1,
+    labels: Optional[dict] = None,
+) -> str:
+    """Render edge ``(u, v)``'s ego-network, one component per block.
+
+    Components are sorted by size (descending); those below ``tau`` are
+    grouped under a "below threshold" footer.  ``labels`` optionally maps
+    vertices to display names.
+    """
+    if tau < 1:
+        raise ValueError(f"tau must be >= 1, got {tau}")
+
+    def name(x: Vertex) -> str:
+        return str(labels.get(x, x)) if labels else str(x)
+
+    common = graph.common_neighbors(u, v)
+    components = sorted(
+        components_of_subset(graph, common), key=lambda c: (-len(c), sorted(map(str, c)))
+    )
+    score = sum(1 for c in components if len(c) >= tau)
+    lines: List[str] = [
+        f"edge ({name(u)}, {name(v)}) -- {len(common)} common neighbors, "
+        f"score {score} at tau={tau}"
+    ]
+    counted = [c for c in components if len(c) >= tau]
+    skipped = [c for c in components if len(c) < tau]
+    for i, component in enumerate(counted, start=1):
+        members = sorted(component, key=str)
+        inner = _component_edges(graph, members)
+        lines.append(f"  component {i} (size {len(component)}): "
+                     f"{{{', '.join(name(w) for w in members)}}}")
+        if inner:
+            rendered = ", ".join(f"{name(a)}-{name(b)}" for a, b in inner)
+            lines.append(f"    edges: {rendered}")
+    if skipped:
+        small = ", ".join(
+            "{" + ", ".join(name(w) for w in sorted(c, key=str)) + "}"
+            for c in skipped
+        )
+        lines.append(f"  below threshold: {small}")
+    if not components:
+        lines.append("  (empty ego-network)")
+    return "\n".join(lines)
+
+
+def _component_edges(graph: Graph, members: List[Vertex]) -> List[tuple]:
+    out = []
+    member_set = set(members)
+    for a in members:
+        for b in graph.neighbors(a):
+            if b in member_set and a < b:
+                out.append((a, b))
+    return sorted(out, key=lambda e: (str(e[0]), str(e[1])))

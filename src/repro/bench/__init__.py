@@ -1,0 +1,43 @@
+"""Benchmark harness: workloads, experiment runners, reporting."""
+
+from repro.bench.harness import (
+    ExperimentTable,
+    RESULTS_DIR,
+    bench_scale,
+    emit,
+    load_results,
+    save_tables,
+    time_call,
+)
+from repro.bench.workloads import (
+    DEFAULT_K,
+    DEFAULT_TAU,
+    K_VALUES,
+    MAINTENANCE_UPDATES,
+    ONLINE_DATASETS,
+    SCALABILITY_DATASET,
+    TAU_VALUES,
+    THREAD_VALUES,
+    all_datasets,
+    dataset,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "RESULTS_DIR",
+    "bench_scale",
+    "emit",
+    "load_results",
+    "save_tables",
+    "time_call",
+    "K_VALUES",
+    "TAU_VALUES",
+    "THREAD_VALUES",
+    "DEFAULT_K",
+    "DEFAULT_TAU",
+    "ONLINE_DATASETS",
+    "SCALABILITY_DATASET",
+    "MAINTENANCE_UPDATES",
+    "dataset",
+    "all_datasets",
+]

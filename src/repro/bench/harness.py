@@ -1,0 +1,138 @@
+"""Benchmark harness: timing, table formatting and result persistence.
+
+Every experiment in ``benchmarks/`` produces (a) a paper-style table
+printed to the terminal, (b) a JSON record under ``benchmarks/results/``
+that ``repro.bench.report`` assembles into EXPERIMENTS.md, and (c) a
+pytest-benchmark timing for the representative operation.  This module
+holds the shared machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+#: Where experiment outputs are written (created on demand).
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def bench_scale() -> float:
+    """Dataset scale factor, settable via ``ESD_BENCH_SCALE`` (default 1)."""
+    return float(os.environ.get("ESD_BENCH_SCALE", "1.0"))
+
+
+class Seconds(float):
+    """A float that renders with time units in tables (s / ms)."""
+
+
+def time_call(fn: Callable[[], object], repeats: int = 1) -> Seconds:
+    """Best-of-``repeats`` wall-clock seconds for ``fn()``."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return Seconds(best)
+
+
+@dataclass
+class ExperimentTable:
+    """One paper-style table: header row + data rows + free-form notes."""
+
+    experiment: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        cells = [list(map(_fmt, self.columns))]
+        cells += [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict:
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(map(_jsonable, row)) for row in self.rows],
+            "rendered_rows": [[_fmt(v) for v in row] for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, Seconds):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001:
+            return f"{value * 1000:.3f}ms"
+        if abs(value) < 1:
+            return f"{value * 1000:.1f}ms"
+        return f"{value:.2f}s" if value < 100 else f"{value:.0f}s"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def save_tables(name: str, tables: Sequence[ExperimentTable]) -> Path:
+    """Persist rendered + JSON outputs for one experiment module."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = "\n\n".join(t.render() for t in tables)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {"name": name, "tables": [t.as_dict() for t in tables]}
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def emit(tables: Sequence[ExperimentTable], name: str, capsys=None) -> None:
+    """Print tables to the real terminal (if possible) and persist them."""
+    text = "\n\n".join(t.render() for t in tables)
+    if capsys is not None:
+        with capsys.disabled():
+            print(f"\n{text}")
+    else:
+        print(f"\n{text}")
+    save_tables(name, tables)
+
+
+def load_results(name: str) -> Optional[Dict]:
+    """Load a previously saved experiment record (None if missing)."""
+    path = RESULTS_DIR / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))

@@ -1,0 +1,46 @@
+"""Experiment workloads: the paper's parameter grids (§VI, "Parameters").
+
+The paper sweeps ``τ ∈ [1, 6]`` (default 3) and
+``k ∈ {1, 10, 50, 100, 150, 200}`` (default 100) over the five datasets.
+The stand-in graphs are ~1000x smaller than the originals, so the k grid
+is kept as-is (it is size-independent) while thread counts and update
+batch sizes are scaled to what a pure-Python single-container run can
+finish in minutes (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.graph import Graph, load_dataset
+from repro.graph.datasets import DATASET_NAMES
+
+#: Paper grid: k ∈ {1, 10, 50, 100, 150, 200}, default 100.
+K_VALUES: List[int] = [1, 10, 50, 100, 150, 200]
+DEFAULT_K: int = 100
+
+#: Paper grid: τ ∈ [1, 6], default 3.
+TAU_VALUES: List[int] = [1, 2, 3, 4, 5, 6]
+DEFAULT_TAU: int = 3
+
+#: Fig. 7 sweeps t = 1..20; we keep the endpoints and powers of two.
+THREAD_VALUES: List[int] = [1, 2, 4, 8, 20]
+
+#: Fig. 5/7 report on these two datasets; Fig. 9/10 on the largest.
+ONLINE_DATASETS: List[str] = ["pokec", "livejournal"]
+SCALABILITY_DATASET: str = "livejournal"
+
+#: Exp-6 uses 1000 random updates; scaled down for pure Python.
+MAINTENANCE_UPDATES: int = 200
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str, scale: float = 1.0) -> Graph:
+    """Cached dataset stand-in (benchmarks reuse graphs across tests)."""
+    return load_dataset(name, scale=scale)
+
+
+def all_datasets(scale: float = 1.0) -> Dict[str, Graph]:
+    """All five Table I stand-ins, in paper order."""
+    return {name: dataset(name, scale) for name in DATASET_NAMES}

@@ -1,0 +1,203 @@
+"""Command-line interface: ``esd`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``stats``        Table-I statistics of an edge-list file or named dataset.
+``topk``         Top-k edge structural diversity search (online / exact).
+``build-index``  Build an ESDIndex and save it to disk.
+``query``        Query a saved ESDIndex.
+``bench``        Run one of the paper's experiments and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core import (
+    ESDIndex,
+    build_index_fast,
+    topk_exact,
+    topk_online,
+    topk_ordering,
+    topk_vertex_online,
+)
+from repro.graph import Graph, graph_stats, load_dataset, read_edge_list
+from repro.graph.datasets import DATASET_NAMES
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    """Resolve the --graph/--dataset pair into a Graph."""
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale)
+    if args.graph:
+        return read_edge_list(args.graph)
+    raise SystemExit("error: provide --graph FILE or --dataset NAME")
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph", help="edge-list file (SNAP format)")
+    parser.add_argument(
+        "--dataset", choices=DATASET_NAMES,
+        help="named synthetic stand-in dataset",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset scale factor (default 1.0)",
+    )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    stats = graph_stats(graph)
+    print(f"n                {stats.n}")
+    print(f"m                {stats.m}")
+    print(f"d_max            {stats.d_max}")
+    print(f"degeneracy       {stats.degeneracy}")
+    print(f"arboricity       [{stats.arboricity_lower}, {stats.arboricity_upper}]")
+    print(f"avg degree       {stats.average_degree:.2f}")
+    print(f"components       {stats.components}")
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    start = time.perf_counter()
+    if args.target == "vertex":
+        vertex_results = topk_vertex_online(graph, args.k, args.tau)
+        elapsed = time.perf_counter() - start
+        for v, score in vertex_results:
+            print(f"{v}\t{score}")
+        print(f"# vertex search: {elapsed:.4f}s", file=sys.stderr)
+        return 0
+    if args.method == "online":
+        results = topk_online(graph, args.k, args.tau, bound=args.bound)
+    elif args.method == "ordering":
+        results = topk_ordering(graph, args.k, args.tau, bound=args.bound)
+    else:
+        results = topk_exact(graph, args.k, args.tau)
+    elapsed = time.perf_counter() - start
+    for (u, v), score in results:
+        print(f"{u}\t{v}\t{score}")
+    print(f"# {args.method} search: {elapsed:.4f}s", file=sys.stderr)
+    return 0
+
+
+def _cmd_build_index(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    start = time.perf_counter()
+    index = build_index_fast(graph)
+    elapsed = time.perf_counter() - start
+    index.save(args.output)
+    print(
+        f"index built in {elapsed:.2f}s: {index.edge_count} edges, "
+        f"{index.entry_count} entries, C={index.size_classes} -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = ESDIndex.load(args.index)
+    start = time.perf_counter()
+    results = index.topk(args.k, args.tau)
+    elapsed = time.perf_counter() - start
+    for (u, v), score in results:
+        print(f"{u}\t{v}\t{score}")
+    print(f"# index query: {elapsed * 1000:.3f}ms", file=sys.stderr)
+    return 0
+
+
+#: experiment name -> runner (lazy import keeps CLI startup fast).
+_BENCH_NAMES = [
+    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "tau-sensitivity", "link-prediction", "ablation",
+]
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import experiments, harness
+
+    runners = {
+        "table1": lambda: experiments.run_table1(args.scale),
+        "fig5": lambda: experiments.run_exp1_fig5(args.scale),
+        "fig6": lambda: experiments.run_exp2_fig6(args.scale),
+        "fig7": lambda: experiments.run_exp3_fig7(args.scale),
+        "fig8": lambda: experiments.run_exp4_fig8(args.scale),
+        "fig9": lambda: experiments.run_exp5_fig9(args.scale),
+        "fig10": lambda: experiments.run_exp5_fig10(args.scale),
+        "fig11": lambda: experiments.run_exp6_fig11(args.scale),
+        "fig12": experiments.run_exp7_fig12,
+        "fig13": experiments.run_exp8_fig13,
+        "tau-sensitivity": lambda: experiments.run_tau_sensitivity(args.scale),
+        "link-prediction": lambda: experiments.run_link_prediction(args.scale),
+        "ablation": lambda: experiments.run_ablation(args.scale),
+    }
+    tables = runners[args.experiment]()
+    print("\n\n".join(t.render() for t in tables))
+    harness.save_tables(args.experiment.replace("-", "_"), tables)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="esd",
+        description="Top-k edge structural diversity search (ICDE 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="graph statistics (Table I columns)")
+    _add_graph_arguments(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_topk = sub.add_parser("topk", help="top-k edge structural diversity")
+    _add_graph_arguments(p_topk)
+    p_topk.add_argument("-k", type=int, default=10, help="result count")
+    p_topk.add_argument("--tau", type=int, default=2, help="component size threshold")
+    p_topk.add_argument(
+        "--method", choices=["online", "ordering", "exact"], default="online"
+    )
+    p_topk.add_argument(
+        "--target", choices=["edge", "vertex"], default="edge",
+        help="rank edges (the paper) or vertices (Huang et al. extension)",
+    )
+    p_topk.add_argument(
+        "--bound", choices=["min-degree", "common-neighbor"],
+        default="common-neighbor",
+    )
+    p_topk.set_defaults(func=_cmd_topk)
+
+    p_build = sub.add_parser("build-index", help="build and save an ESDIndex")
+    _add_graph_arguments(p_build)
+    p_build.add_argument("-o", "--output", required=True, help="index file path")
+    p_build.set_defaults(func=_cmd_build_index)
+
+    p_query = sub.add_parser("query", help="query a saved ESDIndex")
+    p_query.add_argument("--index", required=True, help="index file path")
+    p_query.add_argument("-k", type=int, default=10)
+    p_query.add_argument("--tau", type=int, default=2)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_bench = sub.add_parser("bench", help="run one paper experiment")
+    p_bench.add_argument("experiment", choices=_BENCH_NAMES)
+    p_bench.add_argument("--scale", type=float, default=1.0)
+    p_bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, POSIX-style.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Clique enumeration and sparsity measures."""
+
+from repro.cliques.arboricity import arboricity_bounds, core_numbers, degeneracy
+from repro.cliques.forests import (
+    forest_decomposition,
+    greedy_arboricity_upper_bound,
+    verify_forest_decomposition,
+)
+from repro.cliques.maximal import (
+    clique_number,
+    iter_maximal_cliques,
+    maximal_cliques,
+)
+from repro.cliques.kclique import (
+    count_cliques,
+    count_four_cliques,
+    iter_cliques,
+    iter_four_cliques,
+    iter_four_cliques_oriented,
+)
+from repro.cliques.triangles import (
+    count_triangles,
+    iter_triangles,
+    triangle_count_per_edge,
+)
+
+__all__ = [
+    "iter_triangles",
+    "count_triangles",
+    "triangle_count_per_edge",
+    "iter_four_cliques",
+    "iter_four_cliques_oriented",
+    "count_four_cliques",
+    "iter_cliques",
+    "count_cliques",
+    "core_numbers",
+    "degeneracy",
+    "arboricity_bounds",
+    "forest_decomposition",
+    "greedy_arboricity_upper_bound",
+    "verify_forest_decomposition",
+    "iter_maximal_cliques",
+    "maximal_cliques",
+    "clique_number",
+]

@@ -1,0 +1,82 @@
+"""Degeneracy, core decomposition and arboricity bounds.
+
+The paper's complexity results are stated in terms of the arboricity ``α``
+(Definition 3).  Exact arboricity needs matroid machinery; in practice the
+paper (like Chiba-Nishizeki and kClist) uses the degeneracy ``δ`` as a
+proxy, since ``⌈δ/2⌉ <= α <= δ`` (Eppstein et al. / Lin et al.).  This
+module provides the k-core decomposition, degeneracy, and the
+density-based lower bound ``α >= max_S ⌈m_S / (n_S - 1)⌉`` evaluated on
+the cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graph.graph import Graph, Vertex
+from repro.graph.ordering import degeneracy_ordering
+
+
+def core_numbers(graph: Graph) -> Dict[Vertex, int]:
+    """The k-core number of every vertex (Batagelj-Zaversnik peeling)."""
+    degrees = {u: graph.degree(u) for u in graph.vertices()}
+    max_deg = max(degrees.values(), default=0)
+    buckets = [set() for _ in range(max_deg + 1)]
+    for u, d in degrees.items():
+        buckets[d].add(u)
+    core: Dict[Vertex, int] = {}
+    current = 0
+    cursor = 0
+    removed = set()
+    for _ in range(graph.n):
+        while cursor <= max_deg and not buckets[cursor]:
+            cursor += 1
+        u = buckets[cursor].pop()
+        current = max(current, cursor)
+        core[u] = current
+        removed.add(u)
+        for v in graph.neighbors(u):
+            if v in removed:
+                continue
+            d = degrees[v]
+            if d > cursor:
+                buckets[d].discard(v)
+                degrees[v] = d - 1
+                buckets[d - 1].add(v)
+        cursor = max(cursor - 1, 0)
+    return core
+
+
+def degeneracy(graph: Graph) -> int:
+    """The degeneracy ``δ`` (maximum core number)."""
+    if graph.n == 0:
+        return 0
+    _, delta = degeneracy_ordering(graph)
+    return delta
+
+
+def arboricity_bounds(graph: Graph) -> Tuple[int, int]:
+    """``(lower, upper)`` bounds on the arboricity ``α``.
+
+    Upper bound: the degeneracy ``δ`` (greedily orient along a degeneracy
+    ordering -> forests).  Lower bound: Nash-Williams density on the whole
+    graph and on every k-core subgraph, and ``⌈δ/2⌉``.
+    """
+    if graph.m == 0:
+        return (0, 0)
+    delta = degeneracy(graph)
+    lower = max((delta + 1) // 2, _density_bound(graph))
+    cores = core_numbers(graph)
+    # Evaluate the density bound on the densest core.
+    top = max(cores.values())
+    dense_core = [u for u, c in cores.items() if c == top]
+    if len(dense_core) >= 2:
+        lower = max(lower, _density_bound(graph.induced_subgraph(dense_core)))
+    return (lower, delta)
+
+
+def _density_bound(graph: Graph) -> int:
+    """``⌈m / (n - 1)⌉`` -- Nash-Williams lower bound for one subgraph."""
+    if graph.n <= 1 or graph.m == 0:
+        return 0
+    return -(-graph.m // (graph.n - 1))

@@ -1,0 +1,107 @@
+"""Core algorithms: the paper's primary contribution."""
+
+from repro.core.baselines import (
+    topk_common_neighbors,
+    topk_edge_betweenness,
+    topk_exact,
+)
+from repro.core.bounds import (
+    BOUND_RULES,
+    all_bounds,
+    common_neighbor_bound,
+    min_degree_bound,
+)
+from repro.core.build import (
+    build_index_basic,
+    build_index_bitset,
+    build_index_fast,
+    build_index_fast_with_components,
+    compute_components_fast,
+    index_from_sizes,
+)
+from repro.core.diversity import (
+    all_edge_structural_diversities,
+    all_ego_component_sizes,
+    edge_structural_diversity,
+    ego_component_sizes,
+    score_from_sizes,
+)
+from repro.core.index import ESDIndex
+from repro.core.ordering_search import topk_ordering
+from repro.core.maintenance import DynamicESDIndex, UpdateStats
+from repro.core.monitor import TopKChange, TopKMonitor
+from repro.core.online import (
+    OnlineSearchStats,
+    online_bfs,
+    online_bfs_plus,
+    topk_online,
+)
+from repro.core.pair_diversity import (
+    LinkPredictionResult,
+    link_prediction_experiment,
+    pair_structural_diversity,
+    rank_candidate_links,
+    topk_pairs_online,
+)
+from repro.core.parallel import (
+    build_index_parallel,
+    parallel_component_sizes,
+    parallel_four_cliques,
+    simulate_parallel_speedup,
+)
+from repro.core.vertex_index import (
+    VertexESDIndex,
+    build_vertex_index,
+    vertex_components_fast,
+)
+from repro.core.vertex_diversity import (
+    all_vertex_structural_diversities,
+    topk_vertex_online,
+    vertex_structural_diversity,
+)
+
+__all__ = [
+    "edge_structural_diversity",
+    "ego_component_sizes",
+    "all_edge_structural_diversities",
+    "all_ego_component_sizes",
+    "score_from_sizes",
+    "topk_exact",
+    "min_degree_bound",
+    "common_neighbor_bound",
+    "all_bounds",
+    "BOUND_RULES",
+    "topk_online",
+    "topk_ordering",
+    "online_bfs",
+    "online_bfs_plus",
+    "OnlineSearchStats",
+    "ESDIndex",
+    "build_index_basic",
+    "build_index_bitset",
+    "build_index_fast",
+    "build_index_fast_with_components",
+    "compute_components_fast",
+    "index_from_sizes",
+    "build_index_parallel",
+    "parallel_four_cliques",
+    "parallel_component_sizes",
+    "simulate_parallel_speedup",
+    "DynamicESDIndex",
+    "UpdateStats",
+    "TopKMonitor",
+    "TopKChange",
+    "VertexESDIndex",
+    "build_vertex_index",
+    "vertex_components_fast",
+    "topk_common_neighbors",
+    "topk_edge_betweenness",
+    "vertex_structural_diversity",
+    "all_vertex_structural_diversities",
+    "topk_vertex_online",
+    "pair_structural_diversity",
+    "topk_pairs_online",
+    "rank_candidate_links",
+    "link_prediction_experiment",
+    "LinkPredictionResult",
+]

@@ -1,0 +1,36 @@
+"""Comparison baselines from the paper's effectiveness study (Exp-7/8).
+
+* ``CN`` -- rank edges by common-neighbor count ``|N(u) ∩ N(v)|``.
+* ``BT`` -- rank edges by betweenness centrality.
+* exact -- the full-scan structural-diversity top-k (ground truth),
+  re-exported from :mod:`repro.core.diversity`.
+
+The paper's finding: ESD edges bridge many social contexts while keeping
+strong ties; CN edges are dense single-community pairs; BT edges are weak
+barbell links with few common neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analytics.betweenness import topk_edge_betweenness
+from repro.core.diversity import topk_exact
+from repro.graph.graph import Edge, Graph
+
+__all__ = [
+    "topk_common_neighbors",
+    "topk_edge_betweenness",
+    "topk_exact",
+]
+
+
+def topk_common_neighbors(graph: Graph, k: int) -> List[Tuple[Edge, int]]:
+    """Top-k edges by ``|N(u) ∩ N(v)|`` (the CN baseline)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    scored = [
+        ((u, v), len(graph.common_neighbors(u, v))) for u, v in graph.edges()
+    ]
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return scored[:k]

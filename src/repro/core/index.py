@@ -1,0 +1,390 @@
+"""The ESDIndex structure and its query algorithm (paper §IV-A/B).
+
+For every component size ``c`` that occurs in some edge ego-network
+(``c ∈ C``), the index keeps a list ``H(c)`` of all edges whose
+ego-network has a component of size >= ``c``, sorted by the edge's
+structural diversity at threshold ``c``.  Each ``H(c)`` is an
+order-statistic treap (the paper's "self-balance binary search tree"),
+so a top-k query is: binary-search the smallest ``c* ∈ C`` with
+``c* >= τ`` (Theorem 4 guarantees scores at τ and c* coincide), then
+read the first k entries of ``H(c*)`` -- ``O(k log m + log n)`` total
+(Theorem 5).
+
+Beyond the paper's static picture, this implementation keeps the
+per-edge component-size histograms inside the index.  That makes two
+things possible:
+
+* ``set_edge``/``remove_edge`` for dynamic maintenance (Algorithms 4/5);
+* correct *class back-fill*: when an update introduces a component size
+  ``c`` never seen before (the paper's Example 7 creates ``H(3)``), every
+  existing edge with a component >= c must enter the new list, otherwise
+  τ = c queries would miss them.  The paper does not spell this step out,
+  but Theorem 4's correctness argument requires it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.graph import Edge, Graph, canonical_edge
+from repro.structures.treap import OrderStatTreap
+
+
+class ESDIndex:
+    """Top-k edge structural diversity index.
+
+    Build with :func:`repro.core.build.build_index_basic` /
+    :func:`~repro.core.build.build_index_fast` (or incrementally through
+    :meth:`set_edge`); query with :meth:`topk` / :meth:`query`.
+    """
+
+    #: Canonicalization hook for keyed items.  The edge index normalizes
+    #: to (small, large); the vertex variant (repro.core.vertex_index)
+    #: overrides this with the identity.
+    @staticmethod
+    def _canon(item):
+        return canonical_edge(*item)
+
+    def __init__(self) -> None:
+        # c -> H(c), keyed by (-score_at_c, edge) so ascending = best first.
+        self._classes: Dict[int, OrderStatTreap] = {}
+        self._class_keys: List[int] = []  # sorted members of C
+        # edge -> Counter{component size: multiplicity}
+        self._sizes: Dict[Edge, Counter] = {}
+        # size -> number of edges whose multiset contains that exact size
+        self._support: Counter = Counter()
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges with a nonempty ego-network in the index."""
+        return len(self._sizes)
+
+    @property
+    def size_classes(self) -> List[int]:
+        """The sorted set ``C`` of occurring component sizes."""
+        return list(self._class_keys)
+
+    @property
+    def entry_count(self) -> int:
+        """Total entries across all ``H(c)`` -- the index size of Fig. 6(a),
+        bounded by ``O(α m)`` (Theorem 3)."""
+        return sum(len(t) for t in self._classes.values())
+
+    def component_sizes(self, edge: Edge) -> List[int]:
+        """Stored component-size multiset of ``edge`` ([] if untracked)."""
+        hist = self._sizes.get(self._canon(edge))
+        if not hist:
+            return []
+        return sorted(hist.elements())
+
+    def score(self, edge: Edge, tau: int) -> int:
+        """Structural diversity of ``edge`` at threshold ``tau`` (O(|C_uv|))."""
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+        hist = self._sizes.get(self._canon(edge), None)
+        if not hist:
+            return 0
+        return sum(count for size, count in hist.items() if size >= tau)
+
+    def class_list(self, c: int) -> List[Tuple[Edge, int]]:
+        """The full sorted content of ``H(c)`` as ``[(edge, score), ...]``."""
+        treap = self._classes.get(c)
+        if treap is None:
+            return []
+        return [(edge, -neg) for neg, edge in treap]
+
+    # -- queries ----------------------------------------------------------------
+
+    def topk(self, k: int, tau: int) -> List[Tuple[Edge, int]]:
+        """Top-k edges with the highest structural diversity at ``tau``.
+
+        Implements §IV-B: binary search for the smallest ``c* ∈ C`` with
+        ``c* >= τ``, then the first k entries of ``H(c*)``.  Returns fewer
+        than ``k`` pairs when fewer edges have a positive score (edges with
+        score 0 are by definition in no ``H(c)``).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+        pos = bisect_left(self._class_keys, tau)
+        if pos == len(self._class_keys):
+            return []
+        c_star = self._class_keys[pos]
+        return [
+            (edge, -neg) for neg, edge in self._classes[c_star].smallest(k)
+        ]
+
+    def query(self, k: int, tau: int) -> List[Edge]:
+        """Like :meth:`topk` but returning edges only."""
+        return [edge for edge, _ in self.topk(k, tau)]
+
+    def iter_ranked(self, tau: int):
+        """Lazily yield ``(edge, score)`` in non-increasing score order.
+
+        Useful when the consumer decides on the fly how many results it
+        needs; each step costs O(log m) via the treap's ordered iterator.
+        """
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+        pos = bisect_left(self._class_keys, tau)
+        if pos == len(self._class_keys):
+            return
+        for neg, edge in self._classes[self._class_keys[pos]]:
+            yield edge, -neg
+
+    def edges_with_score_at_least(
+        self, threshold: int, tau: int
+    ) -> List[Tuple[Edge, int]]:
+        """All edges whose structural diversity at ``tau`` is >= threshold.
+
+        A range scan over the relevant ``H(c*)`` list: stops at the first
+        entry below the threshold, so the cost is O(result + log m).
+        """
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        out: List[Tuple[Edge, int]] = []
+        for edge, score in self.iter_ranked(tau):
+            if score < threshold:
+                break
+            out.append((edge, score))
+        return out
+
+    # -- mutation -----------------------------------------------------------
+
+    def set_edge(self, edge: Edge, sizes: Iterable[int]) -> None:
+        """Insert or update ``edge`` with its component-size multiset.
+
+        Recomputes all of the edge's ``H(c)`` entries; creates (with
+        back-fill) and drops size classes as the global ``C`` changes.
+        """
+        edge = self._canon(edge)
+        self._remove_entries(edge)
+        old_hist = self._sizes.pop(edge, None)
+        new_hist = Counter(sizes)
+        if any(s < 1 for s in new_hist):
+            raise ValueError(f"component sizes must be >= 1, got {sorted(new_hist)}")
+
+        vanished = self._update_support(old_hist, new_hist)
+        if new_hist:
+            self._sizes[edge] = new_hist
+            self._insert_entries(edge, new_hist)
+        self._create_new_classes(new_hist, old_hist)
+        self._drop_classes(vanished)
+
+    def remove_edge(self, edge: Edge) -> None:
+        """Remove ``edge`` from the index entirely (no-op if untracked)."""
+        edge = self._canon(edge)
+        if edge not in self._sizes:
+            return
+        self._remove_entries(edge)
+        old_hist = self._sizes.pop(edge)
+        vanished = self._update_support(old_hist, Counter())
+        self._drop_classes(vanished)
+
+    @classmethod
+    def bulk_load(cls, sizes: Dict[Edge, Iterable[int]]) -> "ESDIndex":
+        """Build an index from per-edge size multisets in one pass.
+
+        Equivalent to calling :meth:`set_edge` per edge but avoids the
+        repeated class back-fill: the global ``C`` is known up front, so
+        every edge is inserted into each of its lists exactly once
+        (Algorithm 2 lines 5-15).
+        """
+        index = cls()
+        hists = {}
+        for edge, edge_sizes in sizes.items():
+            hist = Counter(edge_sizes)
+            if hist:
+                hists[cls._canon(edge)] = hist
+        for hist in hists.values():
+            if any(s < 1 for s in hist):
+                raise ValueError(
+                    f"component sizes must be >= 1, got {sorted(hist)}"
+                )
+        index._sizes = hists
+        for hist in hists.values():
+            for size in hist:
+                index._support[size] += 1
+        index._class_keys = sorted(index._support)
+        entries: Dict[int, list] = {c: [] for c in index._class_keys}
+        for edge, hist in hists.items():
+            c_max = max(hist)
+            pos = bisect_left(index._class_keys, c_max + 1)
+            for c in index._class_keys[:pos]:
+                score = sum(n for size, n in hist.items() if size >= c)
+                entries[c].append((-score, edge))
+        for c, keys in entries.items():
+            keys.sort()
+            index._classes[c] = OrderStatTreap.from_sorted(keys, seed=0x5EED ^ c)
+        return index
+
+    # -- internals --------------------------------------------------------------
+
+    def _remove_entries(self, edge: Edge) -> None:
+        """Drop the edge's key from every ``H(c)`` it currently occupies."""
+        hist = self._sizes.get(edge)
+        if not hist:
+            return
+        c_max = max(hist)
+        pos = bisect_left(self._class_keys, c_max + 1)
+        for c in self._class_keys[:pos]:
+            score = sum(count for size, count in hist.items() if size >= c)
+            self._classes[c].remove((-score, edge))
+
+    def _insert_entries(self, edge: Edge, hist: Counter) -> None:
+        """Insert the edge into every existing ``H(c)`` with ``c <= c_max``."""
+        c_max = max(hist)
+        pos = bisect_left(self._class_keys, c_max + 1)
+        for c in self._class_keys[:pos]:
+            score = sum(count for size, count in hist.items() if size >= c)
+            self._classes[c].insert((-score, edge))
+
+    def _update_support(
+        self, old_hist: Optional[Counter], new_hist: Counter
+    ) -> List[int]:
+        """Adjust per-size edge support; return sizes whose support hit 0."""
+        vanished: List[int] = []
+        old_sizes = set(old_hist) if old_hist else set()
+        for size in old_sizes - set(new_hist):
+            self._support[size] -= 1
+            if self._support[size] == 0:
+                del self._support[size]
+                vanished.append(size)
+        for size in set(new_hist) - old_sizes:
+            self._support[size] += 1
+        return vanished
+
+    def _create_new_classes(
+        self, new_hist: Counter, old_hist: Optional[Counter]
+    ) -> None:
+        """Create ``H(c)`` for newly occurring sizes, back-filling all edges.
+
+        A size is new when it enters ``C`` for the first time; every edge
+        whose maximum component size is >= c must then appear in ``H(c)``
+        (see module docstring).
+        """
+        old_sizes = set(old_hist) if old_hist else set()
+        for c in sorted(set(new_hist) - old_sizes):
+            if c in self._classes:
+                continue
+            treap = OrderStatTreap(seed=0x5EED ^ c)
+            for other, hist in self._sizes.items():
+                if max(hist) >= c:
+                    score = sum(n for size, n in hist.items() if size >= c)
+                    treap.insert((-score, other))
+            self._classes[c] = treap
+            insort(self._class_keys, c)
+
+    def _drop_classes(self, vanished: List[int]) -> None:
+        """Delete ``H(c)`` for sizes that left ``C``."""
+        for c in vanished:
+            del self._classes[c]
+            self._class_keys.remove(c)
+
+    def diversity_profile(self, edge: Edge) -> Dict[int, int]:
+        """Score at every meaningful threshold: ``{tau: score}``.
+
+        Keys are the occurring component sizes of the edge's ego-network;
+        the score at any other ``tau`` equals the score at the next key up
+        (or 0 above the max) -- Theorem 4's argument applied per edge.
+        """
+        hist = self._sizes.get(self._canon(edge))
+        if not hist:
+            return {}
+        return {
+            c: sum(n for size, n in hist.items() if size >= c)
+            for c in sorted(hist)
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Introspection snapshot: sizes of the index's moving parts."""
+        return {
+            "edges": self.edge_count,
+            "entries": self.entry_count,
+            "size_classes": list(self._class_keys),
+            "class_sizes": {c: len(t) for c, t in self._classes.items()},
+            "histogram_cells": sum(len(h) for h in self._sizes.values()),
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Serialize the index to ``path``.
+
+        Stores the per-edge histograms (the compact O(α m) core) and
+        rebuilds the treaps on load -- smaller files and no pickle
+        compatibility risk across library versions.
+        """
+        import json
+
+        payload = {
+            "version": 1,
+            "edges": [
+                [list(edge), sorted(hist.elements())]
+                for edge, hist in sorted(self._sizes.items())
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path) -> "ESDIndex":
+        """Load an index previously written by :meth:`save`."""
+        import json
+
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != 1:
+            raise ValueError(
+                f"unsupported index file version: {payload.get('version')!r}"
+            )
+        return cls.bulk_load(
+            {tuple(edge): sizes for edge, sizes in payload["edges"]}
+        )
+
+    # -- integrity ----------------------------------------------------------
+
+    def check_invariants(self, graph: Optional[Graph] = None) -> None:
+        """Validate internal consistency (and, given ``graph``, ground truth).
+
+        Testing hook: asserts that C matches the stored histograms, every
+        ``H(c)`` holds exactly the right edges with the right scores, and
+        -- when the source graph is provided -- that the histograms match
+        a from-scratch BFS recomputation.
+        """
+        from repro.core.diversity import ego_component_sizes  # avoid cycle
+
+        expected_c = set()
+        for hist in self._sizes.values():
+            expected_c |= set(hist)
+        assert sorted(expected_c) == self._class_keys, "C mismatch"
+        assert set(self._support) == expected_c, "support mismatch"
+
+        for c in self._class_keys:
+            expected_members = {
+                edge: sum(n for size, n in hist.items() if size >= c)
+                for edge, hist in self._sizes.items()
+                if max(hist) >= c
+            }
+            actual = dict(self.class_list(c))
+            assert actual == expected_members, f"H({c}) content mismatch"
+            self._classes[c].check_invariants()
+
+        if graph is not None:
+            tracked = set(self._sizes)
+            for u, v in graph.edges():
+                sizes = sorted(ego_component_sizes(graph, u, v))
+                edge = canonical_edge(u, v)
+                if sizes:
+                    assert (
+                        self.component_sizes(edge) == sizes
+                    ), f"histogram mismatch for {edge}"
+                    tracked.discard(edge)
+                else:
+                    assert edge not in self._sizes, f"phantom edge {edge}"
+            assert not tracked, f"stale edges in index: {tracked}"

@@ -1,0 +1,276 @@
+"""Dynamic ESDIndex maintenance under edge insertions/deletions (paper §V).
+
+:class:`DynamicESDIndex` owns a mutable graph, the per-edge disjoint-set
+structures ``M`` and the :class:`~repro.core.index.ESDIndex`, and keeps
+all three consistent through :meth:`insert_edge` (Algorithm 4) and
+:meth:`delete_edge` (Algorithm 5).
+
+Locality (Observations 2 and 3): inserting or deleting ``(u, v)`` only
+changes the structural diversities of edges inside the closed ego-network
+``Ĝ_N(uv)`` -- the edge itself, the triangle edges ``(u, w)``/``(v, w)``
+for common neighbors ``w``, and the ego-edges ``(w1, w2)`` inside
+``N(uv)``.  Everything else is untouched, which is why updates are cheap
+relative to reconstruction (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from repro.core.build import build_index_fast_with_components
+from repro.core.index import ESDIndex
+from repro.graph.graph import Edge, Graph, Vertex, canonical_edge
+from repro.structures.dsu import EdgeComponentSets
+
+
+@dataclass
+class UpdateStats:
+    """Instrumentation for one insert/delete: how local was the update?"""
+
+    common_neighbors: int = 0
+    ego_edges: int = 0
+    edges_rescored: int = 0
+
+
+class DynamicESDIndex:
+    """ESDIndex plus the state needed to maintain it under edge updates."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph.copy()
+        self._index, self._components = build_index_fast_with_components(
+            self._graph
+        )
+
+    # -- read-only views ------------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        """The current graph.  Mutate only through insert/delete_edge."""
+        return self._graph
+
+    @property
+    def index(self) -> ESDIndex:
+        """The maintained ESDIndex."""
+        return self._index
+
+    def topk(self, k: int, tau: int) -> List[Tuple[Edge, int]]:
+        """Query the maintained index (see :meth:`ESDIndex.topk`)."""
+        return self._index.topk(k, tau)
+
+    def components_of(self, edge: Edge) -> EdgeComponentSets:
+        """The live ``M`` structure of ``edge`` (raises KeyError if absent)."""
+        return self._components[canonical_edge(*edge)]
+
+    # -- insertion (Algorithm 4) ------------------------------------------------
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> UpdateStats:
+        """Insert ``(u, v)`` and restore all invariants.
+
+        Raises ``ValueError`` if the edge already exists (callers see a
+        loud signal instead of silent corruption).
+        """
+        edge = canonical_edge(u, v)
+        if self._graph.has_edge(u, v):
+            raise ValueError(f"edge already in graph: {edge}")
+        self._graph.add_edge(u, v)
+        common = self._graph.common_neighbors(u, v)
+        stats = UpdateStats(common_neighbors=len(common))
+
+        # Lines 3-9: fresh M for the new edge; each common neighbor w makes
+        # {u, v, w} a triangle, adding members to M_uw and M_vw.
+        m_new = EdgeComponentSets(common)
+        self._components[edge] = m_new
+        for w in common:
+            self._components[canonical_edge(u, w)].add(v)
+            self._components[canonical_edge(v, w)].add(u)
+
+        # Lines 10-19: every ego-edge (w1, w2) inside N(uv) completes the
+        # 4-clique {u, v, w1, w2}; apply the six Unions.
+        for w1, w2 in self._ego_edges(common):
+            stats.ego_edges += 1
+            m_new.union(w1, w2)
+            self._components[canonical_edge(w1, w2)].union(u, v)
+            self._components[canonical_edge(u, w1)].union(v, w2)
+            self._components[canonical_edge(v, w1)].union(u, w2)
+            self._components[canonical_edge(u, w2)].union(v, w1)
+            self._components[canonical_edge(v, w2)].union(u, w1)
+
+        # Lines 20-22: refresh index entries for every affected edge.
+        self._rescore(self._affected_edges(edge, common), stats)
+        return stats
+
+    # -- deletion (Algorithm 5) ---------------------------------------------
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> UpdateStats:
+        """Delete ``(u, v)`` and restore all invariants.
+
+        Raises ``KeyError`` if the edge is absent.
+        """
+        edge = canonical_edge(u, v)
+        if not self._graph.has_edge(u, v):
+            raise KeyError(f"edge not in graph: {edge}")
+        common = self._graph.common_neighbors(u, v)
+        stats = UpdateStats(common_neighbors=len(common))
+        self._graph.remove_edge(u, v)
+
+        # Lines 3-9: v leaves N(uw) and u leaves N(vw) for each w in N(uv).
+        # If the leaver was isolated it is simply discarded; otherwise its
+        # old component must be re-partitioned without it (Update proc).
+        for w in common:
+            self._remove_member(canonical_edge(u, w), v)
+            self._remove_member(canonical_edge(v, w), u)
+
+        # Lines 10-18: each broken 4-clique {u, v, w1, w2}: in M_{w1 w2},
+        # u and v stay members but may now fall apart.
+        rebuilt: Set[Edge] = set()
+        for w1, w2 in self._ego_edges(common):
+            stats.ego_edges += 1
+            ego_edge = canonical_edge(w1, w2)
+            if ego_edge not in rebuilt:
+                rebuilt.add(ego_edge)
+                self._rebuild_around(ego_edge, u)
+
+        # Lines 19-23: refresh entries, then drop the deleted edge.
+        affected = self._affected_edges(edge, common)
+        affected.discard(edge)
+        self._rescore(affected, stats)
+        self._index.remove_edge(edge)
+        del self._components[edge]
+        return stats
+
+    # -- vertex updates (§V: a vertex update is a series of edge updates) ---
+
+    def insert_vertex(self, v: Vertex, neighbors: Iterable[Vertex]) -> List[UpdateStats]:
+        """Insert vertex ``v`` with its incident edges, one at a time.
+
+        Raises ``ValueError`` if ``v`` already exists with edges, so a
+        partial overlap cannot silently double-insert.
+        """
+        if v in self._graph and self._graph.degree(v) > 0:
+            raise ValueError(f"vertex already in graph with edges: {v!r}")
+        self._graph.add_vertex(v)
+        return [self.insert_edge(v, w) for w in sorted(set(neighbors))]
+
+    def delete_vertex(self, v: Vertex) -> List[UpdateStats]:
+        """Delete vertex ``v`` by deleting its incident edges, then ``v``."""
+        if v not in self._graph:
+            raise KeyError(f"vertex not in graph: {v!r}")
+        stats = [
+            self.delete_edge(v, w) for w in sorted(self._graph.neighbors(v))
+        ]
+        self._graph.remove_vertex(v)
+        return stats
+
+    # -- batch updates ---------------------------------------------------------
+
+    def apply_batch(
+        self,
+        insertions: Iterable[Tuple[Vertex, Vertex]] = (),
+        deletions: Iterable[Tuple[Vertex, Vertex]] = (),
+    ) -> UpdateStats:
+        """Apply many edge updates; aggregate the per-update stats.
+
+        Deletions run first (so swap-style batches never trip the
+        duplicate-insert guard), then insertions.  Each update is applied
+        through the exact single-edge algorithms, so the index stays
+        query-consistent between every pair of updates.
+        """
+        total = UpdateStats()
+        for u, v in deletions:
+            s = self.delete_edge(u, v)
+            total.common_neighbors += s.common_neighbors
+            total.ego_edges += s.ego_edges
+            total.edges_rescored += s.edges_rescored
+        for u, v in insertions:
+            s = self.insert_edge(u, v)
+            total.common_neighbors += s.common_neighbors
+            total.ego_edges += s.ego_edges
+            total.edges_rescored += s.edges_rescored
+        return total
+
+    # -- invariant checking (testing hook) -------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert M and the index both match a from-scratch recomputation."""
+        from repro.core.diversity import ego_component_sizes
+
+        assert set(self._components) == set(self._graph.edges())
+        for (a, b), m in self._components.items():
+            expected = sorted(ego_component_sizes(self._graph, a, b))
+            assert (
+                sorted(m.component_sizes()) == expected
+            ), f"M mismatch for {(a, b)}: {sorted(m.component_sizes())} != {expected}"
+            assert set(m.members()) == self._graph.common_neighbors(a, b)
+        self._index.check_invariants(self._graph)
+
+    # -- internals -----------------------------------------------------------
+
+    def _ego_edges(self, common: Set[Vertex]) -> Iterable[Tuple[Vertex, Vertex]]:
+        """Edges of the ego-network induced by ``common``, each once."""
+        for w1 in common:
+            for w2 in self._graph.neighbors(w1):
+                if w2 in common and w1 < w2:
+                    yield (w1, w2)
+
+    def _affected_edges(self, edge: Edge, common: Set[Vertex]) -> Set[Edge]:
+        """All edges of the closed ego-network Ĝ_N(uv)."""
+        u, v = edge
+        affected: Set[Edge] = {edge}
+        for w in common:
+            affected.add(canonical_edge(u, w))
+            affected.add(canonical_edge(v, w))
+        for w1, w2 in self._ego_edges(common):
+            affected.add(canonical_edge(w1, w2))
+        return affected
+
+    def _rescore(self, edges: Iterable[Edge], stats: UpdateStats) -> None:
+        """Push the current M component sizes of ``edges`` into the index."""
+        for e in edges:
+            sizes = self._components[e].component_sizes()
+            if sizes:
+                self._index.set_edge(e, sizes)
+            else:
+                self._index.remove_edge(e)
+            stats.edges_rescored += 1
+
+    def _remove_member(self, edge: Edge, leaver: Vertex) -> None:
+        """Remove ``leaver`` from ``M_edge``, re-partitioning if needed."""
+        m = self._components[edge]
+        if leaver not in m:
+            return
+        if m.discard_singleton(leaver):
+            return
+        # The leaver had neighbors inside the ego-network: rebuild its old
+        # component from the surviving edges (Algorithm 5's Update).
+        component = set(m.component_of(leaver))
+        component.discard(leaver)
+        surviving = [
+            (x, y)
+            for x in component
+            for y in self._graph.neighbors(x)
+            if y in component and x < y
+        ]
+        m.rebuild_component(leaver, surviving)
+        removed = m.discard_singleton(leaver)
+        assert removed, "leaver still connected after rebuild"
+
+    def _rebuild_around(self, edge: Edge, anchor: Vertex) -> None:
+        """Re-partition the component of ``anchor`` in ``M_edge``.
+
+        Used after deleting (u, v): in M_{w1 w2} the endpoints u, v were in
+        one component (joined by the deleted edge); re-scan the surviving
+        adjacency inside that component.  ``anchor`` is u; v is in the same
+        old component so one rebuild covers both.
+        """
+        m = self._components[edge]
+        if anchor not in m:
+            return
+        component = set(m.component_of(anchor))
+        surviving = [
+            (x, y)
+            for x in component
+            for y in self._graph.neighbors(x)
+            if y in component and x < y
+        ]
+        m.rebuild_component(anchor, surviving)

@@ -1,0 +1,92 @@
+"""Streaming top-k monitoring on a dynamic graph (extension).
+
+:class:`TopKMonitor` wraps :class:`~repro.core.maintenance.DynamicESDIndex`
+and reports, after every update, how the top-k answer set for a fixed
+``(k, τ)`` query changed.  This is the end-to-end use case that motivates
+index maintenance: an application watching the most context-diverse edges
+of an evolving social graph without recomputing anything from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.core.maintenance import DynamicESDIndex
+from repro.graph.graph import Edge, Graph, Vertex
+
+
+@dataclass(frozen=True)
+class TopKChange:
+    """Difference between consecutive top-k answer sets."""
+
+    update: str
+    edge: Edge
+    entered: Tuple[Tuple[Edge, int], ...]
+    left: Tuple[Tuple[Edge, int], ...]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.entered or self.left)
+
+
+@dataclass
+class TopKMonitor:
+    """Maintain a standing top-k query over a stream of edge updates.
+
+    Example::
+
+        monitor = TopKMonitor(graph, k=10, tau=2)
+        change = monitor.insert(u, v)
+        if change.changed:
+            alert(change.entered, change.left)
+    """
+
+    graph: Graph
+    k: int
+    tau: int
+    _dyn: DynamicESDIndex = field(init=False, repr=False)
+    _current: List[Tuple[Edge, int]] = field(init=False, repr=False)
+    history: List[TopKChange] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.tau < 1:
+            raise ValueError(f"tau must be >= 1, got {self.tau}")
+        self._dyn = DynamicESDIndex(self.graph)
+        self._current = self._dyn.topk(self.k, self.tau)
+
+    @property
+    def top(self) -> List[Tuple[Edge, int]]:
+        """The current top-k answer."""
+        return list(self._current)
+
+    @property
+    def dynamic_index(self) -> DynamicESDIndex:
+        """The underlying maintained index."""
+        return self._dyn
+
+    def insert(self, u: Vertex, v: Vertex) -> TopKChange:
+        """Insert edge ``(u, v)`` and report the top-k delta."""
+        self._dyn.insert_edge(u, v)
+        return self._diff("insert", (u, v))
+
+    def delete(self, u: Vertex, v: Vertex) -> TopKChange:
+        """Delete edge ``(u, v)`` and report the top-k delta."""
+        self._dyn.delete_edge(u, v)
+        return self._diff("delete", (u, v))
+
+    def _diff(self, kind: str, edge: Edge) -> TopKChange:
+        new = self._dyn.topk(self.k, self.tau)
+        old_set: Set[Tuple[Edge, int]] = set(self._current)
+        new_set: Set[Tuple[Edge, int]] = set(new)
+        change = TopKChange(
+            update=kind,
+            edge=edge,
+            entered=tuple(sorted(new_set - old_set)),
+            left=tuple(sorted(old_set - new_set)),
+        )
+        self._current = new
+        self.history.append(change)
+        return change

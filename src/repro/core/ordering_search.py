@@ -1,0 +1,106 @@
+"""Ordering-based online search (after Chang et al., ICDE 2017).
+
+The paper's related work cites Chang et al.'s improved top-k *vertex*
+structural diversity search, which replaces the priority queue with a
+"carefully-designed ordering": candidates are scanned in non-increasing
+upper-bound order and the scan stops as soon as the next bound cannot
+beat the current k-th best exact score.  This module adapts that idea to
+edges as an alternative to the dequeue-twice framework:
+
+1. compute the chosen upper bound for every edge (one pass),
+2. sort edges by bound descending (ties by edge id),
+3. scan in order, computing exact scores and keeping the best k in a
+   min-heap; stop at the first edge whose bound <= the k-th best score
+   with k results already in hand.
+
+Versus Algorithm 1 it trades the `O(log m)` per-operation heap for one
+`O(m log m)` sort and a branch-free scan; it evaluates exactly the same
+set of edges in the worst case but often fewer in practice, because the
+termination test uses confirmed exact scores rather than re-enqueued
+priorities.  The ablation benchmark compares both frameworks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from repro.core.bounds import BOUND_RULES
+from repro.core.diversity import edge_structural_diversity, validate_parameters
+from repro.core.online import OnlineSearchStats
+from repro.graph.graph import Edge, Graph
+
+
+def topk_ordering(
+    graph: Graph,
+    k: int,
+    tau: int,
+    bound: str = "common-neighbor",
+    with_stats: bool = False,
+):
+    """Top-k edge structural diversity via the sorted-order scan.
+
+    Same contract as :func:`repro.core.online.topk_online`: returns
+    ``[(edge, score), ...]`` sorted by descending score (ties by edge id),
+    of length ``min(k, m)``.
+    """
+    validate_parameters(k, tau)
+    try:
+        bound_rule = BOUND_RULES[bound]
+    except KeyError:
+        raise KeyError(
+            f"unknown bound rule {bound!r}; choose from {sorted(BOUND_RULES)}"
+        ) from None
+
+    stats = OnlineSearchStats(bound_rule=bound, edges_total=graph.m)
+    ranked: List[Tuple[int, Edge]] = sorted(
+        ((-bound_rule(graph, u, v, tau), (u, v)) for u, v in graph.edges()),
+    )
+
+    # Min-heap of the k best (score, reversed-tie-break edge) seen so far.
+    best: List[Tuple[int, Tuple]] = []
+    for neg_bound, edge in ranked:
+        upper = -neg_bound
+        if len(best) == k and upper < best[0][0]:
+            break  # no remaining edge can beat the current k-th best
+        if len(best) == k and upper == best[0][0]:
+            # A tie on the k-th score cannot *improve* the answer set's
+            # scores; stop here as well (matches the dequeue-twice
+            # result's score multiset).
+            break
+        score = edge_structural_diversity(graph, edge[0], edge[1], tau)
+        stats.evaluated += 1
+        entry = (score, _ReversedEdge(edge))
+        if len(best) < k:
+            heapq.heappush(best, entry)
+        elif entry > best[0]:
+            heapq.heapreplace(best, entry)
+
+    results = sorted(
+        ((item[1].edge, item[0]) for item in best),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    stats.results = results
+    if with_stats:
+        return results, stats
+    return results
+
+
+class _ReversedEdge:
+    """Wrapper inverting edge comparison.
+
+    The min-heap keeps the *worst* entry at the top.  Between two equal
+    scores the worse entry is the lexicographically *larger* edge (the
+    final output prefers smaller edges), so comparisons are reversed.
+    """
+
+    __slots__ = ("edge",)
+
+    def __init__(self, edge: Edge) -> None:
+        self.edge = edge
+
+    def __lt__(self, other: "_ReversedEdge") -> bool:
+        return other.edge < self.edge
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReversedEdge) and other.edge == self.edge

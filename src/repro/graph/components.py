@@ -1,0 +1,75 @@
+"""Connected components of graphs and induced subgraphs (BFS).
+
+The straightforward structural-diversity computation (Definition 2) runs a
+BFS over an edge's ego-network; these helpers implement that traversal for
+arbitrary vertex subsets without materializing subgraph objects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Set
+
+from repro.graph.graph import Graph, Vertex
+
+
+def connected_components(graph: Graph) -> List[Set[Vertex]]:
+    """All connected components of ``graph`` as vertex sets."""
+    return components_of_subset(graph, graph.vertices())
+
+
+def components_of_subset(
+    graph: Graph, subset: Iterable[Vertex]
+) -> List[Set[Vertex]]:
+    """Connected components of the subgraph of ``graph`` induced by ``subset``.
+
+    Only edges with both endpoints in ``subset`` are traversed.  Runs in
+    ``O(|subset| + edges-inside)`` time; membership tests use a set built
+    from ``subset``.
+    """
+    members = set(subset)
+    seen: Set[Vertex] = set()
+    components: List[Set[Vertex]] = []
+    for start in members:
+        if start in seen:
+            continue
+        component: Set[Vertex] = {start}
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            x = queue.popleft()
+            for y in graph.neighbors(x):
+                if y in members and y not in seen:
+                    seen.add(y)
+                    component.add(y)
+                    queue.append(y)
+        components.append(component)
+    return components
+
+
+def component_sizes_of_subset(graph: Graph, subset: Iterable[Vertex]) -> List[int]:
+    """Sizes of the components of the induced subgraph (unordered)."""
+    return [len(c) for c in components_of_subset(graph, subset)]
+
+
+def count_components_at_least(
+    graph: Graph, subset: Iterable[Vertex], tau: int
+) -> int:
+    """Number of induced components with size >= ``tau`` (the BFS procedure
+    of Algorithm 1, lines 16-21)."""
+    if tau < 1:
+        raise ValueError(f"tau must be >= 1, got {tau}")
+    return sum(1 for c in components_of_subset(graph, subset) if len(c) >= tau)
+
+
+def is_connected(graph: Graph) -> bool:
+    """True if the graph is connected (an empty graph counts as connected)."""
+    if graph.n == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def largest_component(graph: Graph) -> Set[Vertex]:
+    """Vertex set of the largest connected component (empty set if empty)."""
+    comps = connected_components(graph)
+    return max(comps, key=len) if comps else set()

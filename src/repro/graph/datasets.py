@@ -1,0 +1,163 @@
+"""Synthetic stand-ins for the paper's five SNAP datasets (Table I).
+
+The paper evaluates on Youtube, WikiTalk, DBLP, Pokec and LiveJournal
+(3M-35M edges).  Offline and in pure Python those sizes are out of reach
+(see DESIGN.md §3), so each dataset gets a deterministic synthetic
+stand-in ~1000x smaller whose *character* matches the original:
+
+* ``youtube``     -- power-law social graph, low clustering.
+* ``wikitalk``    -- extremely skewed communication graph (star-heavy,
+  huge d_max relative to size, tiny degeneracy-to-d_max ratio).
+* ``dblp``        -- collaboration graph made of paper-team cliques; the
+  highest degeneracy relative to average degree, like the original.
+* ``pokec``       -- denser friendship graph (preferential attachment).
+* ``livejournal`` -- the largest: community blocks + power-law overlay.
+
+Relative sizes preserve the paper's ordering
+(youtube < wikitalk < dblp < pokec < livejournal by edge count).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu_power_law,
+    collaboration_network,
+    gnm_random,
+    planted_partition,
+    word_association_network,
+)
+from repro.graph.graph import Graph
+
+#: Dataset order as in Table I.
+DATASET_NAMES: List[str] = ["youtube", "wikitalk", "dblp", "pokec", "livejournal"]
+
+
+def youtube(scale: float = 1.0, seed: int = 11) -> Graph:
+    """Power-law, low-clustering social graph (Youtube stand-in)."""
+    n = max(int(1500 * scale), 50)
+    return chung_lu_power_law(n, exponent=2.2, average_degree=5.0, seed=seed)
+
+
+def wikitalk(scale: float = 1.0, seed: int = 13) -> Graph:
+    """Star-heavy communication graph (WikiTalk stand-in).
+
+    A few hundred "admin" hubs receive most edges, yielding a very high
+    d_max but low degeneracy -- the signature of the original WikiTalk.
+    """
+    n = max(int(2600 * scale), 60)
+    graph = chung_lu_power_law(n, exponent=1.9, average_degree=4.0, seed=seed)
+    return graph
+
+
+def dblp(scale: float = 1.0, seed: int = 17) -> Graph:
+    """Collaboration graph of paper-team cliques (DBLP stand-in)."""
+    communities = max(int(44 * scale), 4)
+    return collaboration_network(
+        communities=communities,
+        community_size=20,
+        papers_per_community=32,
+        team_size=4,
+        bridge_pairs=max(int(8 * scale), 2),
+        contexts_per_bridge=5,
+        context_size=3,
+        seed=seed,
+    )
+
+
+def pokec(scale: float = 1.0, seed: int = 19) -> Graph:
+    """Denser friendship graph (Pokec stand-in)."""
+    n = max(int(1800 * scale), 30)
+    return barabasi_albert(n, attach=7, seed=seed)
+
+
+def livejournal(scale: float = 1.0, seed: int = 23) -> Graph:
+    """Largest stand-in: community blocks plus a power-law overlay."""
+    blocks = max(int(48 * scale), 3)
+    base = planted_partition(
+        communities=blocks, community_size=40, p_in=0.22, p_out=0.0008, seed=seed
+    )
+    overlay = chung_lu_power_law(
+        base.n, exponent=2.4, average_degree=6.0, seed=seed + 1
+    )
+    merged = base.copy()
+    for u, v in overlay.edges():
+        merged.add_edge(u, v)
+    return merged
+
+
+#: name -> builder, in Table I order.
+DATASETS: Dict[str, Callable[..., Graph]] = {
+    "youtube": youtube,
+    "wikitalk": wikitalk,
+    "dblp": dblp,
+    "pokec": pokec,
+    "livejournal": livejournal,
+}
+
+
+def load_dataset(name: str, scale: float = 1.0) -> Graph:
+    """Build the named dataset stand-in (see :data:`DATASET_NAMES`)."""
+    try:
+        builder = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {DATASET_NAMES}"
+        ) from None
+    return builder(scale=scale)
+
+
+def db_subgraph(seed: int = 29) -> Graph:
+    """The Exp-7 ``DB`` case-study graph: DBLP stand-in with pronounced
+    bridge-author pairs (τ=2 top-k edges connect many communities)."""
+    return collaboration_network(
+        communities=16,
+        community_size=18,
+        papers_per_community=22,
+        team_size=4,
+        bridge_pairs=5,
+        contexts_per_bridge=6,
+        context_size=2,
+        dense_pairs=3,
+        dense_degree=16,
+        seed=seed,
+    )
+
+
+def word_association(seed: int = 31) -> Graph:
+    """The Exp-8 word-association case-study graph (string vertices)."""
+    return word_association_network(seed=seed)
+
+
+def tiny_random(seed: int = 37) -> Graph:
+    """A small G(n, m) graph for quick tests and examples."""
+    return gnm_random(60, 180, seed=seed)
+
+
+def paper_example_graph() -> Graph:
+    """The running example graph of the paper (Fig. 1(a)).
+
+    Reconstructed from the paper's worked examples; every number in
+    Examples 1-7 and the Fig. 2 index tables checks out against this
+    graph (see tests/core/test_paper_examples.py).  Vertices are the
+    paper's letters: the left block ``a..i``, the bridge pair ``h, i`` to
+    ``j, k``, the 6-clique ``{j, k, u, v, p, q}`` and the extra vertex
+    ``w`` adjacent to ``u, p, q``.
+    """
+    left = [
+        ("a", "b"), ("a", "c"), ("b", "c"), ("b", "d"), ("b", "e"),
+        ("c", "e"), ("c", "g"), ("d", "e"),
+        ("d", "f"), ("d", "g"), ("e", "f"), ("e", "g"), ("f", "g"),
+        ("f", "h"), ("f", "i"), ("g", "h"), ("g", "i"), ("h", "i"),
+    ]
+    middle = [("h", "j"), ("h", "k"), ("i", "j"), ("i", "k")]
+    clique = ["j", "k", "u", "v", "p", "q"]
+    right = [
+        (clique[i], clique[j])
+        for i in range(len(clique))
+        for j in range(i + 1, len(clique))
+    ]
+    extra = [("u", "w"), ("p", "w"), ("q", "w")]
+    return Graph(left + middle + right + extra)

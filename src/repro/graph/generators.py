@@ -1,0 +1,440 @@
+"""Random graph generators (from scratch, deterministic per seed).
+
+These supply the synthetic stand-ins for the paper's datasets (the SNAP
+downloads are unavailable offline, and pure Python caps tractable sizes --
+see DESIGN.md §3).  Beyond the classic models, two purpose-built
+generators plant the structures the paper's case studies rely on:
+
+* :func:`collaboration_network` -- a DBLP-like co-authorship graph with
+  community cliques plus "bridge" author pairs that co-author with several
+  disjoint teams (high edge structural diversity by construction).
+* :func:`word_association_network` -- a USF-style word association graph
+  where polysemous hub word pairs link several small semantic-context
+  clusters (the "bank"/"money" structure of Fig. 13).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from repro.graph.graph import Graph
+
+
+def _require_positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """G(n, p): each of the C(n,2) edges appears independently with prob p.
+
+    Uses geometric skipping so the cost is O(n + m), not O(n^2).
+    """
+    _require_positive("n", n)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    graph = Graph()
+    for u in range(n):
+        graph.add_vertex(u)
+    if p == 0.0:
+        return graph
+    if p == 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v)
+        return graph
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        w += 1 + int(math.log(1.0 - rng.random()) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w)
+    return graph
+
+
+def gnm_random(n: int, m: int, seed: int = 0) -> Graph:
+    """G(n, m): exactly m distinct edges drawn uniformly."""
+    _require_positive("n", n)
+    max_edges = n * (n - 1) // 2
+    if not 0 <= m <= max_edges:
+        raise ValueError(f"m must be in [0, {max_edges}], got {m}")
+    rng = random.Random(seed)
+    graph = Graph()
+    for u in range(n):
+        graph.add_vertex(u)
+    seen = set()
+    while len(seen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        edge = (u, v) if u < v else (v, u)
+        if edge not in seen:
+            seen.add(edge)
+            graph.add_edge(*edge)
+    return graph
+
+
+def barabasi_albert(n: int, attach: int, seed: int = 0) -> Graph:
+    """Preferential attachment: each new vertex attaches to ``attach``
+    existing vertices chosen proportionally to degree."""
+    _require_positive("n", n)
+    _require_positive("attach", attach)
+    if n <= attach:
+        raise ValueError(f"n must exceed attach ({attach}), got {n}")
+    rng = random.Random(seed)
+    graph = Graph()
+    # Seed clique of `attach + 1` vertices keeps early degrees nonzero.
+    hubs = list(range(attach + 1))
+    for u in hubs:
+        for v in hubs[u + 1:]:
+            graph.add_edge(u, v)
+    repeated: List[int] = [u for edge in graph.edges() for u in edge]
+    for u in range(attach + 1, n):
+        targets = set()
+        while len(targets) < attach:
+            targets.add(rng.choice(repeated))
+        for v in targets:
+            graph.add_edge(u, v)
+            repeated.append(u)
+            repeated.append(v)
+    return graph
+
+
+def chung_lu_power_law(
+    n: int, exponent: float = 2.5, average_degree: float = 6.0, seed: int = 0
+) -> Graph:
+    """Chung-Lu model with power-law expected degrees.
+
+    Expected degree of vertex i is proportional to ``(i + 1)^(-1/(exp-1))``
+    scaled to the requested average degree; edges appear independently with
+    probability ``min(1, w_u w_v / W)``.  Sampled edge-by-edge per vertex
+    with weighted partner choice, which is O(m) in expectation and matches
+    the heavy-tail + low-clustering character of SNAP social graphs.
+    """
+    _require_positive("n", n)
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must exceed 1, got {exponent}")
+    rng = random.Random(seed)
+    gamma = 1.0 / (exponent - 1.0)
+    weights = [(i + 1.0) ** (-gamma) for i in range(n)]
+    scale = average_degree * n / sum(weights)
+    weights = [w * scale for w in weights]
+    total = sum(weights)
+
+    # cumulative weights for O(log n) weighted sampling
+    cumulative: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+
+    def sample_vertex() -> int:
+        x = rng.random() * total
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    graph = Graph()
+    for u in range(n):
+        graph.add_vertex(u)
+    target_edges = int(average_degree * n / 2)
+    attempts = 0
+    made = 0
+    # Rejection-free pairing: draw endpoints proportional to weight.
+    while made < target_edges and attempts < 20 * target_edges:
+        attempts += 1
+        u, v = sample_vertex(), sample_vertex()
+        if u != v and graph.add_edge(u, v):
+            made += 1
+    return graph
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: int = 0) -> Graph:
+    """Small-world ring lattice with rewiring probability ``beta``."""
+    _require_positive("n", n)
+    if k % 2 or k <= 0 or k >= n:
+        raise ValueError(f"k must be even and in (0, n), got {k}")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    rng = random.Random(seed)
+    graph = Graph()
+    for u in range(n):
+        graph.add_vertex(u)
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            graph.add_edge(u, (u + offset) % n)
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if rng.random() < beta and graph.has_edge(u, v):
+                candidates = [w for w in range(n) if w != u and not graph.has_edge(u, w)]
+                if candidates:
+                    graph.remove_edge(u, v)
+                    graph.add_edge(u, rng.choice(candidates))
+    return graph
+
+
+def planted_partition(
+    communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> Graph:
+    """Planted-partition model: dense blocks, sparse cross-block edges."""
+    _require_positive("communities", communities)
+    _require_positive("community_size", community_size)
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    n = communities * community_size
+    graph = Graph()
+    for u in range(n):
+        graph.add_vertex(u)
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = u // community_size == v // community_size
+            if rng.random() < (p_in if same else p_out):
+                graph.add_edge(u, v)
+    return graph
+
+
+def collaboration_network(
+    communities: int = 24,
+    community_size: int = 22,
+    papers_per_community: int = 30,
+    team_size: int = 4,
+    bridge_pairs: int = 6,
+    contexts_per_bridge: int = 5,
+    context_size: int = 3,
+    dense_pairs: int = 0,
+    dense_degree: int = 0,
+    prolific_weight: int = 0,
+    seed: int = 0,
+) -> Graph:
+    """DBLP-like co-authorship graph with planted bridge-author pairs.
+
+    Regular researchers live in research communities; each paper is a
+    small team clique inside one community.  On top of that,
+    ``bridge_pairs`` pairs of prolific co-authors each collaborate with
+    ``contexts_per_bridge`` *disjoint* teams drawn from different
+    communities -- so the bridge edge's ego-network has (at least) that
+    many connected components.  This is the structure Exp-7 says ESD finds
+    and CN/BT do not.
+
+    ``dense_pairs`` additionally plants pairs of prolific *single-
+    community* co-authors sharing ``dense_degree`` common neighbors that
+    form one connected blob -- the kind of edge the CN baseline ranks
+    first in the real DBLP (many common neighbors, low diversity).
+
+    ``prolific_weight`` skews team sampling toward each community's first
+    two members, producing the high-degree "prolific author" hubs that
+    give real co-authorship graphs their large degeneracy (the weight is
+    how many extra tickets each prolific member holds in the draw).
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    n_regular = communities * community_size
+
+    def community_members(c: int) -> range:
+        return range(c * community_size, (c + 1) * community_size)
+
+    # Papers: team cliques within communities, optionally hub-skewed.
+    for c in range(communities):
+        members = list(community_members(c))
+        pool = list(members)
+        for prolific in members[:2]:
+            pool += [prolific] * prolific_weight
+        for _ in range(papers_per_community):
+            team: set = set()
+            while len(team) < min(team_size, len(members)):
+                team.add(rng.choice(pool))
+            team_list = sorted(team)
+            for i, u in enumerate(team_list):
+                for v in team_list[i + 1:]:
+                    graph.add_edge(u, v)
+
+    # Bridge author pairs with multi-community contexts.
+    next_id = n_regular
+    for b in range(bridge_pairs):
+        u, v = next_id, next_id + 1
+        next_id += 2
+        graph.add_edge(u, v)
+        used_communities = rng.sample(range(communities), k=min(contexts_per_bridge, communities))
+        for c in used_communities:
+            context = rng.sample(list(community_members(c)), k=context_size)
+            for w in context:
+                graph.add_edge(u, w)
+                graph.add_edge(v, w)
+            for i, w1 in enumerate(context):
+                for w2 in context[i + 1:]:
+                    graph.add_edge(w1, w2)
+
+    # Dense single-community pairs: CN bait with one big ego component.
+    for d in range(dense_pairs):
+        u, v = next_id, next_id + 1
+        next_id += 2
+        graph.add_edge(u, v)
+        members = list(community_members(d % communities))
+        blob = rng.sample(members, k=min(dense_degree, len(members)))
+        for w in blob:
+            graph.add_edge(u, w)
+            graph.add_edge(v, w)
+        # Chain the blob so it is guaranteed to be a single component.
+        for w1, w2 in zip(blob, blob[1:]):
+            graph.add_edge(w1, w2)
+    return graph
+
+
+#: (pair, contexts) entries used by word_association_network.  Each context
+#: is a small cluster of words that are all associated with both hub words
+#: and with each other, mirroring Fig. 13's hand-labeled components.
+_WORD_CONTEXTS: Sequence[Tuple[Tuple[str, str], Sequence[Sequence[str]]]] = (
+    (
+        ("bank", "money"),
+        (
+            ("account", "deposit", "save", "teller", "cash", "check"),
+            ("loan", "mortgage", "federal"),
+            ("river", "shore"),
+            ("rob", "steal"),
+            ("vault", "safe"),
+            ("rich", "wealth"),
+        ),
+    ),
+    (
+        ("wood", "house"),
+        (
+            ("build", "carpenter", "hammer", "nail"),
+            ("forest", "tree", "log"),
+            ("fire", "burn"),
+            ("cabin", "lodge"),
+            ("floor", "panel"),
+        ),
+    ),
+    (
+        ("light", "sun"),
+        (
+            ("bright", "shine", "ray"),
+            ("lamp", "bulb"),
+            ("day", "morning"),
+            ("beach", "tan"),
+        ),
+    ),
+    (
+        ("cold", "ice"),
+        (
+            ("winter", "snow", "frost"),
+            ("drink", "cube"),
+            ("hockey", "rink"),
+        ),
+    ),
+    (
+        ("play", "game"),
+        (
+            ("ball", "sport", "team"),
+            ("card", "deck"),
+            ("child", "toy"),
+        ),
+    ),
+)
+
+
+def word_association_network(
+    extra_words: int = 400,
+    extra_edges: int = 1200,
+    seed: int = 0,
+) -> Graph:
+    """USF-style word association graph with planted polysemous hub pairs.
+
+    The hand-crafted hub pairs above (e.g. ``("bank", "money")`` with six
+    semantic contexts) guarantee Fig. 13's qualitative result: the top
+    edges by structural diversity at τ=2 are the polysemous pairs whose
+    ego-networks split into several context components.  Around them, a
+    random background of ``extra_words`` generic words keeps the graph
+    realistically noisy.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    for (a, b), contexts in _WORD_CONTEXTS:
+        graph.add_edge(a, b)
+        for context in contexts:
+            for w in context:
+                graph.add_edge(a, w)
+                graph.add_edge(b, w)
+            for i, w1 in enumerate(context):
+                for w2 in context[i + 1:]:
+                    graph.add_edge(w1, w2)
+
+    background = [f"word{i:04d}" for i in range(extra_words)]
+    for w in background:
+        graph.add_vertex(w)
+    vocabulary = sorted(graph.vertices())
+    made = 0
+    attempts = 0
+    while made < extra_edges and attempts < 20 * extra_edges:
+        attempts += 1
+        u = rng.choice(background)
+        v = rng.choice(vocabulary)
+        if u != v and graph.add_edge(u, v):
+            made += 1
+    return graph
+
+
+def planted_diversity_graph(
+    hub_pairs: int = 5,
+    components_per_pair: int = 4,
+    component_size: int = 3,
+    noise_edges: int = 200,
+    noise_vertices: int = 120,
+    seed: int = 0,
+) -> Graph:
+    """Integer-labeled graph with known top-k edge structural diversities.
+
+    Pair ``i`` (edges between vertices ``2i`` and ``2i+1``) gets
+    ``components_per_pair - i`` planted components of ``component_size``
+    vertices each (floored at 1), so the exact top-k ranking is known by
+    construction -- handy for tests.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    next_id = 2 * hub_pairs
+    for i in range(hub_pairs):
+        u, v = 2 * i, 2 * i + 1
+        graph.add_edge(u, v)
+        for _ in range(max(components_per_pair - i, 1)):
+            members = list(range(next_id, next_id + component_size))
+            next_id += component_size
+            for w in members:
+                graph.add_edge(u, w)
+                graph.add_edge(v, w)
+            for a_idx, w1 in enumerate(members):
+                for w2 in members[a_idx + 1:]:
+                    graph.add_edge(w1, w2)
+    base = next_id
+    for w in range(base, base + noise_vertices):
+        graph.add_vertex(w)
+    # Noise stays strictly among the noise vertices: edges touching hub or
+    # component vertices could merge planted components and break the
+    # known-answer property.
+    noise = list(range(base, base + noise_vertices))
+    made = 0
+    attempts = 0
+    while noise_vertices > 1 and made < noise_edges and attempts < 20 * noise_edges:
+        attempts += 1
+        u, v = rng.choice(noise), rng.choice(noise)
+        if u != v and graph.add_edge(u, v):
+            made += 1
+    return graph

@@ -1,0 +1,187 @@
+"""Undirected, unweighted graph store used throughout the library.
+
+The paper's algorithms need exactly the primitives this class provides:
+O(1) expected edge tests, neighbor sets for common-neighborhood
+intersections, degrees for the degree ordering, and cheap edge
+insertion/deletion for the dynamic-maintenance algorithms.
+
+Vertices may be any hashable, mutually orderable values (ints, strings).
+Edges are stored undirected; :func:`canonical_edge` fixes the canonical
+``(small, large)`` representation used as a dictionary key everywhere an
+edge identifies something (upper bounds, scores, the per-edge disjoint-set
+map ``M``, ESDIndex entries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical undirected representation of edge ``(u, v)``."""
+    if u == v:
+        raise ValueError(f"self-loop not allowed: ({u!r}, {v!r})")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """A simple undirected graph backed by adjacency sets.
+
+    Self-loops are rejected; parallel edges collapse.  All edge-returning
+    methods yield canonical ``(small, large)`` tuples.
+    """
+
+    __slots__ = ("_adj", "_m")
+
+    def __init__(self, edges: Iterable[Tuple[Vertex, Vertex]] = ()) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._m = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[Vertex, Vertex]]) -> "Graph":
+        """Build a graph from an iterable of vertex pairs."""
+        return cls(edges)
+
+    # -- size ---------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, u: Vertex) -> bool:
+        return u in self._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m})"
+
+    # -- mutation -------------------------------------------------------------
+
+    def add_vertex(self, u: Vertex) -> None:
+        """Add an isolated vertex (no-op if present)."""
+        if u not in self._adj:
+            self._adj[u] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Add undirected edge ``(u, v)``; return True if it was new."""
+        if u == v:
+            raise ValueError(f"self-loop not allowed: ({u!r}, {v!r})")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        return True
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove edge ``(u, v)``; raises KeyError if absent."""
+        try:
+            self._adj[u].remove(v)
+            self._adj[v].remove(u)
+        except KeyError:
+            raise KeyError(f"edge not in graph: ({u!r}, {v!r})") from None
+        self._m -= 1
+
+    def remove_vertex(self, u: Vertex) -> None:
+        """Remove ``u`` and all incident edges; raises KeyError if absent."""
+        neighbors = self._adj.pop(u)  # KeyError propagates deliberately
+        for v in neighbors:
+            self._adj[v].remove(u)
+        self._m -= len(neighbors)
+
+    # -- queries ---------------------------------------------------------------
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """True if the undirected edge ``(u, v)`` exists."""
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def neighbors(self, u: Vertex) -> Set[Vertex]:
+        """The neighbor set ``N(u)``.  Do not mutate the returned set."""
+        return self._adj[u]
+
+    def degree(self, u: Vertex) -> int:
+        """``d(u) = |N(u)|``."""
+        return len(self._adj[u])
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges in canonical form (each exactly once)."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def edge_list(self) -> List[Edge]:
+        """All edges as a list of canonical tuples."""
+        return list(self.edges())
+
+    def common_neighbors(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        """``N(uv) = N(u) ∩ N(v)`` -- the edge's common neighborhood.
+
+        Always intersects the smaller set into the larger, so the cost is
+        ``O(min{d(u), d(v)})`` as assumed in the paper's analysis.
+        """
+        a, b = self._adj[u], self._adj[v]
+        if len(a) > len(b):
+            a, b = b, a
+        return {w for w in a if w in b}
+
+    def max_degree(self) -> int:
+        """``d_max`` -- the maximum vertex degree (0 for an empty graph)."""
+        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    def degree_sequence(self) -> List[int]:
+        """All degrees, descending."""
+        return sorted((len(nbrs) for nbrs in self._adj.values()), reverse=True)
+
+    # -- derived graphs -----------------------------------------------------
+
+    def copy(self) -> "Graph":
+        """Deep copy (independent adjacency sets)."""
+        clone = Graph()
+        clone._adj = {u: set(nbrs) for u, nbrs in self._adj.items()}
+        clone._m = self._m
+        return clone
+
+    def induced_subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """The subgraph induced by ``vertices`` (isolated vertices kept)."""
+        keep = set(vertices)
+        sub = Graph()
+        for u in keep:
+            if u in self._adj:
+                sub.add_vertex(u)
+        for u in keep:
+            nbrs = self._adj.get(u)
+            if nbrs is None:
+                continue
+            for v in nbrs:
+                if v in keep and u < v:
+                    sub.add_edge(u, v)
+        return sub
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("Graph is mutable and unhashable")

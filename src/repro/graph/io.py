@@ -1,0 +1,203 @@
+"""Graph serialization: SNAP-style edge lists.
+
+The paper's datasets ship as whitespace-separated edge lists with ``#``
+comment headers (the SNAP format).  We read and write that format, with
+optional integer relabeling to a dense ``0..n-1`` id space.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, TextIO, Union
+
+from repro.graph.graph import Graph, Vertex
+
+PathLike = Union[str, Path]
+
+
+class EdgeListFormatError(ValueError):
+    """Raised when an edge-list line cannot be parsed."""
+
+
+def read_edge_list(
+    source: Union[PathLike, TextIO],
+    *,
+    comment: str = "#",
+    as_int: bool = True,
+) -> Graph:
+    """Read an undirected graph from a whitespace edge list.
+
+    Blank lines and lines starting with ``comment`` are skipped; self-loops
+    are dropped (SNAP social graphs contain none, but user files might);
+    duplicate and reversed edges collapse.  With ``as_int`` vertex tokens
+    are parsed as integers, otherwise kept as strings.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_edge_list(handle, comment=comment, as_int=as_int)
+
+    graph = Graph()
+    for lineno, line in enumerate(source, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(comment):
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise EdgeListFormatError(
+                f"line {lineno}: expected two vertex tokens, got {stripped!r}"
+            )
+        a, b = parts[0], parts[1]
+        if as_int:
+            try:
+                u: Vertex = int(a)
+                v: Vertex = int(b)
+            except ValueError as exc:
+                raise EdgeListFormatError(
+                    f"line {lineno}: non-integer vertex in {stripped!r}"
+                ) from exc
+        else:
+            u, v = a, b
+        if u == v:
+            continue
+        graph.add_edge(u, v)
+    return graph
+
+
+def write_edge_list(
+    graph: Graph, target: Union[PathLike, TextIO], *, header: str = ""
+) -> None:
+    """Write ``graph`` as a sorted whitespace edge list (one edge per line)."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            write_edge_list(graph, handle, header=header)
+        return
+    if header:
+        for line in header.splitlines():
+            target.write(f"# {line}\n")
+    target.write(f"# n={graph.n} m={graph.m}\n")
+    for u, v in sorted(graph.edges()):
+        target.write(f"{u}\t{v}\n")
+
+
+def parse_edge_list(text: str, **kwargs) -> Graph:
+    """Read a graph from an in-memory edge-list string."""
+    return read_edge_list(io.StringIO(text), **kwargs)
+
+
+def read_adjacency_list(
+    source: Union[PathLike, TextIO], *, comment: str = "#", as_int: bool = True
+) -> Graph:
+    """Read a graph from adjacency-list format: ``u v1 v2 v3 ...``.
+
+    Each line names a vertex followed by its neighbors; edges may appear
+    from either endpoint (duplicates collapse).  Lines with a single
+    token declare an isolated vertex.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_adjacency_list(handle, comment=comment, as_int=as_int)
+    graph = Graph()
+    for lineno, line in enumerate(source, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(comment):
+            continue
+        tokens = stripped.split()
+        if as_int:
+            try:
+                parsed = [int(t) for t in tokens]
+            except ValueError as exc:
+                raise EdgeListFormatError(
+                    f"line {lineno}: non-integer vertex in {stripped!r}"
+                ) from exc
+        else:
+            parsed = tokens
+        u = parsed[0]
+        graph.add_vertex(u)
+        for v in parsed[1:]:
+            if v != u:
+                graph.add_edge(u, v)
+    return graph
+
+
+def write_adjacency_list(graph: Graph, target: Union[PathLike, TextIO]) -> None:
+    """Write a graph in adjacency-list format (every vertex one line)."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            write_adjacency_list(graph, handle)
+        return
+    for u in sorted(graph.vertices()):
+        nbrs = " ".join(str(v) for v in sorted(graph.neighbors(u)))
+        target.write(f"{u} {nbrs}".rstrip() + "\n")
+
+
+def read_metis(source: Union[PathLike, TextIO]) -> Graph:
+    """Read a graph in METIS format (1-indexed adjacency lists).
+
+    The header line is ``n m``; line ``i`` (1-based) lists the neighbors
+    of vertex ``i``.  Vertices are relabeled to 0-based integers.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_metis(handle)
+    lines = [
+        line.strip()
+        for line in source
+        if line.strip() and not line.lstrip().startswith("%")
+    ]
+    if not lines:
+        raise EdgeListFormatError("empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise EdgeListFormatError(f"bad METIS header: {lines[0]!r}")
+    n, m = int(header[0]), int(header[1])
+    if len(lines) - 1 != n:
+        raise EdgeListFormatError(
+            f"METIS header declares {n} vertices but file has {len(lines) - 1}"
+        )
+    graph = Graph()
+    for u in range(n):
+        graph.add_vertex(u)
+    for u, line in enumerate(lines[1:]):
+        for token in line.split():
+            v = int(token) - 1
+            if not 0 <= v < n:
+                raise EdgeListFormatError(
+                    f"vertex {token} out of range 1..{n}"
+                )
+            if v != u:
+                graph.add_edge(u, v)
+    if graph.m != m:
+        raise EdgeListFormatError(
+            f"METIS header declares {m} edges but file encodes {graph.m}"
+        )
+    return graph
+
+
+def write_metis(graph: Graph, target: Union[PathLike, TextIO]) -> None:
+    """Write a graph in METIS format (relabels vertices to 1..n)."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            write_metis(graph, handle)
+        return
+    relabeled, mapping = relabel_to_integers(graph)
+    target.write(f"{relabeled.n} {relabeled.m}\n")
+    for u in range(relabeled.n):
+        nbrs = " ".join(str(v + 1) for v in sorted(relabeled.neighbors(u)))
+        target.write(nbrs + "\n")
+
+
+def relabel_to_integers(graph: Graph) -> tuple:
+    """Relabel vertices to dense ``0..n-1`` ints (sorted original order).
+
+    Returns ``(new_graph, mapping)`` where ``mapping[old] = new``.
+    """
+    mapping: Dict[Vertex, int] = {
+        u: i for i, u in enumerate(sorted(graph.vertices()))
+    }
+    relabeled = Graph()
+    for u in graph.vertices():
+        relabeled.add_vertex(mapping[u])
+    for u, v in graph.edges():
+        relabeled.add_edge(mapping[u], mapping[v])
+    return relabeled, mapping

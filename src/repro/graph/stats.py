@@ -1,0 +1,62 @@
+"""Graph statistics: the Table I columns and friends.
+
+``n``, ``m``, ``d_max`` and the degeneracy ``δ`` are exactly the columns
+of the paper's Table I; arboricity bounds and clustering support the
+complexity discussion (α ≈ δ in practice, Lin et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph
+from repro.graph.ordering import degeneracy_ordering
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of an undirected graph (Table I row)."""
+
+    n: int
+    m: int
+    d_max: int
+    degeneracy: int
+    arboricity_lower: int
+    arboricity_upper: int
+    average_degree: float
+    components: int
+
+    def as_row(self) -> tuple:
+        return (self.n, self.m, self.d_max, self.degeneracy)
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """Compute the Table I statistics for ``graph``."""
+    if graph.n == 0:
+        return GraphStats(0, 0, 0, 0, 0, 0, 0.0, 0)
+    _, degeneracy = degeneracy_ordering(graph)
+    # Eppstein et al.: ceil(δ/2) <= α <= δ; also α >= ceil(m / (n - 1)).
+    lower = max((degeneracy + 1) // 2, -(-graph.m // max(graph.n - 1, 1)))
+    return GraphStats(
+        n=graph.n,
+        m=graph.m,
+        d_max=graph.max_degree(),
+        degeneracy=degeneracy,
+        arboricity_lower=lower,
+        arboricity_upper=max(degeneracy, 1 if graph.m else 0),
+        average_degree=2.0 * graph.m / graph.n,
+        components=len(connected_components(graph)),
+    )
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Transitivity: 3 * triangles / open-or-closed wedges."""
+    from repro.cliques.triangles import count_triangles  # local import: avoid cycle
+
+    wedges = sum(
+        d * (d - 1) // 2 for d in (graph.degree(u) for u in graph.vertices())
+    )
+    if wedges == 0:
+        return 0.0
+    return 3.0 * count_triangles(graph) / wedges

@@ -1,0 +1,64 @@
+"""Subgraph extraction and random sampling (Exp-5 scalability workloads).
+
+The paper's scalability experiments build four subgraphs per dataset by
+"randomly picking 20%-80% of the edges (vertices)".  These helpers
+reproduce both samplers deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.graph.graph import Graph, Vertex
+
+
+def random_edge_subgraph(graph: Graph, fraction: float, seed: int = 0) -> Graph:
+    """Subgraph keeping a uniformly random ``fraction`` of the edges.
+
+    Vertices incident to no surviving edge are dropped (as in the paper's
+    edge-sampled scalability subgraphs, where m is the controlled size).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    edges = sorted(graph.edges())
+    keep = rng.sample(range(len(edges)), k=round(fraction * len(edges)))
+    return Graph(edges[i] for i in keep)
+
+
+def random_vertex_subgraph(graph: Graph, fraction: float, seed: int = 0) -> Graph:
+    """Subgraph induced by a uniformly random ``fraction`` of the vertices."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    keep = rng.sample(vertices, k=round(fraction * len(vertices)))
+    return graph.induced_subgraph(keep)
+
+
+def ego_network_vertices(graph: Graph, u: Vertex, v: Vertex) -> set:
+    """``N(uv)`` -- the vertex set of edge (u, v)'s ego-network (Def. 1)."""
+    return graph.common_neighbors(u, v)
+
+
+def ego_network(graph: Graph, u: Vertex, v: Vertex) -> Graph:
+    """The edge ego-network ``G_N(uv)`` as a materialized Graph (Def. 1)."""
+    return graph.induced_subgraph(graph.common_neighbors(u, v))
+
+
+def closed_ego_network(graph: Graph, u: Vertex, v: Vertex) -> Graph:
+    """``Ĝ_N(uv)`` -- subgraph induced by ``N(uv) ∪ {u, v}`` (§V).
+
+    This is the locality region of the dynamic maintenance algorithms:
+    after inserting (u, v) only edges inside this subgraph change score.
+    """
+    members = set(graph.common_neighbors(u, v))
+    members.add(u)
+    members.add(v)
+    return graph.induced_subgraph(members)
+
+
+def scalability_fractions() -> List[float]:
+    """The sample fractions used by Fig. 9/10 (20%..100%)."""
+    return [0.2, 0.4, 0.6, 0.8, 1.0]

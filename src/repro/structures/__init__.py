@@ -1,0 +1,7 @@
+"""Core data structures: union-find, lazy heaps, order-statistic treaps."""
+
+from repro.structures.dsu import DisjointSet, EdgeComponentSets
+from repro.structures.heap import LazyMaxHeap
+from repro.structures.treap import OrderStatTreap
+
+__all__ = ["DisjointSet", "EdgeComponentSets", "LazyMaxHeap", "OrderStatTreap"]

@@ -1,0 +1,90 @@
+"""Priority queues for the dequeue-twice search framework.
+
+The paper's Algorithm 1 maintains a max-priority queue over all edges where
+an edge's priority is first its upper bound and later its exact score.
+Python's :mod:`heapq` is a min-heap with no decrease-key, so
+:class:`LazyMaxHeap` implements the standard lazy-update scheme: pushing an
+item again supersedes the old entry, and stale entries are skipped on pop.
+This preserves the amortized ``O(log m)`` per-operation bound used in
+Theorem 2 (each edge is pushed at most twice in Algorithm 1, so the heap
+never holds more than ``2m`` entries).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class LazyMaxHeap(Generic[T]):
+    """Max-heap over hashable items with lazy priority updates.
+
+    Ties are broken by the item's natural ordering (ascending), making pops
+    deterministic -- important for reproducible top-k output when many
+    edges share a score.
+    """
+
+    __slots__ = ("_heap", "_priority", "_stale")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, T]] = []
+        self._priority: Dict[T, float] = {}
+        self._stale = 0
+
+    def __len__(self) -> int:
+        return len(self._priority)
+
+    def __bool__(self) -> bool:
+        return bool(self._priority)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._priority
+
+    def priority_of(self, item: T) -> Optional[float]:
+        """Current priority of ``item`` or None if absent."""
+        return self._priority.get(item)
+
+    def push(self, item: T, priority: float) -> None:
+        """Insert ``item`` or update its priority (last write wins)."""
+        self._priority[item] = priority
+        # Negate for max-heap behaviour on heapq's min-heap.
+        heapq.heappush(self._heap, (-priority, item))
+
+    def pop(self) -> Tuple[T, float]:
+        """Remove and return ``(item, priority)`` with the max priority.
+
+        Raises ``IndexError`` when empty.
+        """
+        while self._heap:
+            neg, item = heapq.heappop(self._heap)
+            current = self._priority.get(item)
+            if current is not None and current == -neg:
+                del self._priority[item]
+                return item, current
+            self._stale += 1
+        raise IndexError("pop from empty LazyMaxHeap")
+
+    def peek(self) -> Tuple[T, float]:
+        """Return the max entry without removing it."""
+        while self._heap:
+            neg, item = self._heap[0]
+            current = self._priority.get(item)
+            if current is not None and current == -neg:
+                return item, current
+            heapq.heappop(self._heap)
+            self._stale += 1
+        raise IndexError("peek from empty LazyMaxHeap")
+
+    def discard(self, item: T) -> bool:
+        """Remove ``item`` lazily; return True if it was present."""
+        if item in self._priority:
+            del self._priority[item]
+            return True
+        return False
+
+    @property
+    def stale_skips(self) -> int:
+        """Instrumentation: number of stale heap entries skipped so far."""
+        return self._stale

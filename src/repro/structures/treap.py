@@ -1,0 +1,265 @@
+"""Order-statistic treap: the "self-balance binary search tree" of the paper.
+
+The ESDIndex keeps, for every component size ``c``, a list ``H(c)`` of
+edges sorted by structural diversity.  The paper stores each ``H(c)`` in a
+self-balancing binary search tree so that insertions, deletions and top-k
+extraction are all logarithmic.  :class:`OrderStatTreap` provides exactly
+that: a set of totally-ordered keys supporting
+
+* ``insert`` / ``remove`` in expected ``O(log n)``,
+* ``kth(i)`` (i-th smallest, 0-based) in expected ``O(log n)``,
+* ``smallest(k)`` -- the first ``k`` keys in order, in ``O(k + log n)``,
+* ``rank(key)`` and ordered iteration.
+
+Priorities are drawn from a per-instance :class:`random.Random` seeded at
+construction, so tree shape (and therefore timing) is reproducible while
+remaining balanced in expectation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Iterator, List, Optional
+
+
+class _Node:
+    __slots__ = ("key", "prio", "left", "right", "size")
+
+    def __init__(self, key: Any, prio: float) -> None:
+        self.key = key
+        self.prio = prio
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.size = 1
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+def _pull(node: _Node) -> None:
+    node.size = 1 + _size(node.left) + _size(node.right)
+
+
+class OrderStatTreap:
+    """A set of totally-ordered keys with order statistics.
+
+    Duplicate keys are rejected with ``KeyError`` -- ESDIndex keys embed the
+    edge id, so every key is unique by construction.
+    """
+
+    __slots__ = ("_root", "_rng")
+
+    def __init__(self, keys: Iterable[Any] = (), seed: int = 0x5EED) -> None:
+        self._root: Optional[_Node] = None
+        self._rng = random.Random(seed)
+        for key in keys:
+            self.insert(key)
+
+    @classmethod
+    def from_sorted(
+        cls, sorted_keys: List[Any], seed: int = 0x5EED
+    ) -> "OrderStatTreap":
+        """Build in O(n) from strictly-increasing keys.
+
+        A balanced tree is built by midpoint recursion; drawing the random
+        priorities in descending order and handing them out in *preorder*
+        guarantees every parent outranks its children, so the result is a
+        valid treap and later inserts/removals stay logarithmic.
+        """
+        treap = cls(seed=seed)
+        n = len(sorted_keys)
+        if n == 0:
+            return treap
+        priorities = sorted((treap._rng.random() for _ in range(n)), reverse=True)
+        next_prio = iter(priorities)
+
+        def build(lo: int, hi: int) -> Optional[_Node]:
+            if lo >= hi:
+                return None
+            mid = (lo + hi) // 2
+            node = _Node(sorted_keys[mid], next(next_prio))
+            node.left = build(lo, mid)
+            node.right = build(mid + 1, hi)
+            node.size = hi - lo
+            return node
+
+        treap._root = build(0, n)
+        return treap
+
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[Any]:
+        """In-order (ascending) iteration over all keys."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key
+            node = node.right
+
+    # -- split/merge core ---------------------------------------------------
+
+    def _merge(self, a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+        """Merge two treaps where every key of ``a`` < every key of ``b``."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a.prio > b.prio:
+            a.right = self._merge(a.right, b)
+            _pull(a)
+            return a
+        b.left = self._merge(a, b.left)
+        _pull(b)
+        return b
+
+    def _split(self, node: Optional[_Node], key: Any):
+        """Split into (< key, >= key)."""
+        if node is None:
+            return None, None
+        if node.key < key:
+            left, right = self._split(node.right, key)
+            node.right = left
+            _pull(node)
+            return node, right
+        left, right = self._split(node.left, key)
+        node.left = right
+        _pull(node)
+        return left, node
+
+    # -- public operations ----------------------------------------------------
+
+    def insert(self, key: Any) -> None:
+        """Insert ``key``; raises KeyError if already present."""
+        if key in self:
+            raise KeyError(f"duplicate key: {key!r}")
+        node = _Node(key, self._rng.random())
+        left, right = self._split(self._root, key)
+        self._root = self._merge(self._merge(left, node), right)
+
+    def remove(self, key: Any) -> None:
+        """Remove ``key``; raises KeyError if absent."""
+        self._root, removed = self._remove(self._root, key)
+        if not removed:
+            raise KeyError(f"key not found: {key!r}")
+
+    def _remove(self, node: Optional[_Node], key: Any):
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._remove(node.left, key)
+        elif node.key < key:
+            node.right, removed = self._remove(node.right, key)
+        else:
+            return self._merge(node.left, node.right), True
+        if removed:
+            _pull(node)
+        return node, removed
+
+    def discard(self, key: Any) -> bool:
+        """Remove ``key`` if present; return whether it was removed."""
+        self._root, removed = self._remove(self._root, key)
+        return removed
+
+    def kth(self, index: int) -> Any:
+        """Return the ``index``-th smallest key (0-based)."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"index {index} out of range for size {len(self)}")
+        node = self._root
+        while node is not None:
+            left = _size(node.left)
+            if index < left:
+                node = node.left
+            elif index == left:
+                return node.key
+            else:
+                index -= left + 1
+                node = node.right
+        raise AssertionError("unreachable: size bookkeeping corrupted")
+
+    def rank(self, key: Any) -> int:
+        """Number of keys strictly smaller than ``key``."""
+        node = self._root
+        count = 0
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                count += _size(node.left) + 1
+                node = node.right
+            else:
+                return count + _size(node.left)
+        return count
+
+    def smallest(self, k: int) -> List[Any]:
+        """The first ``min(k, n)`` keys in ascending order, in O(k + log n)."""
+        if k <= 0:
+            return []
+        out: List[Any] = []
+        stack: List[_Node] = []
+        node = self._root
+        while (stack or node is not None) and len(out) < k:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            out.append(node.key)
+            node = node.right
+        return out
+
+    def min(self) -> Any:
+        """Smallest key; raises IndexError when empty."""
+        if self._root is None:
+            raise IndexError("min of empty treap")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max(self) -> Any:
+        """Largest key; raises IndexError when empty."""
+        if self._root is None:
+            raise IndexError("max of empty treap")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def clear(self) -> None:
+        """Remove every key."""
+        self._root = None
+
+    def check_invariants(self) -> None:
+        """Validate BST order, heap priorities and subtree sizes (testing)."""
+        def walk(node: Optional[_Node], lo: Any, hi: Any) -> int:
+            if node is None:
+                return 0
+            assert lo is None or lo < node.key, "BST order violated (low)"
+            assert hi is None or node.key < hi, "BST order violated (high)"
+            for child in (node.left, node.right):
+                if child is not None:
+                    assert child.prio <= node.prio, "heap priority violated"
+            size = 1 + walk(node.left, lo, node.key) + walk(node.right, node.key, hi)
+            assert size == node.size, "size bookkeeping violated"
+            return size
+
+        walk(self._root, None, None)

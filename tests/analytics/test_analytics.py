@@ -1,0 +1,151 @@
+"""Tests for betweenness, community detection and contagion."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.analytics import (
+    communities_from_labels,
+    communities_touched,
+    diversity_cascade,
+    edge_betweenness,
+    expected_reach,
+    label_propagation,
+)
+from repro.graph import Graph, planted_partition
+
+
+def brute_force_edge_betweenness(graph: Graph):
+    """O(n^3)-ish reference: enumerate shortest paths via BFS per pair."""
+    from collections import deque
+
+    scores = {edge: 0.0 for edge in graph.edges()}
+    vertices = sorted(graph.vertices())
+    for s, t in combinations(vertices, 2):
+        # BFS layers from s.
+        dist = {s: 0}
+        queue = deque([s])
+        while queue:
+            v = queue.popleft()
+            for w in graph.neighbors(v):
+                if w not in dist:
+                    dist[w] = dist[v] + 1
+                    queue.append(w)
+        if t not in dist:
+            continue
+        # Count shortest paths through each edge by DP.
+        sigma = {s: 1}
+        order = sorted(dist, key=dist.get)
+        for v in order:
+            if v == s:
+                continue
+            sigma[v] = sum(
+                sigma[u]
+                for u in graph.neighbors(v)
+                if dist.get(u) == dist[v] - 1
+            )
+        # Paths from t backwards.
+        sigma_t = {t: 1}
+        for v in sorted(dist, key=dist.get, reverse=True):
+            if v == t:
+                continue
+            sigma_t[v] = sum(
+                sigma_t[u]
+                for u in graph.neighbors(v)
+                if dist.get(u) == dist[v] + 1
+            )
+        total = sigma[t]
+        for u, v in graph.edges():
+            du, dv = dist.get(u), dist.get(v)
+            if du is None or dv is None:
+                continue
+            if du + 1 == dv and v in sigma_t and dist[v] <= dist[t]:
+                through = sigma[u] * sigma_t.get(v, 0)
+            elif dv + 1 == du and u in sigma_t and dist[u] <= dist[t]:
+                through = sigma[v] * sigma_t.get(u, 0)
+            else:
+                through = 0
+            if through:
+                scores[(u, v)] += through / total
+    return scores
+
+
+class TestEdgeBetweenness:
+    def test_path_graph(self, path4):
+        scores = edge_betweenness(path4, normalized=False)
+        # Middle edge carries pairs {0,1}x{2,3} plus its endpoints' pairs.
+        assert scores[(1, 2)] == pytest.approx(4.0)
+        assert scores[(0, 1)] == pytest.approx(3.0)
+
+    def test_triangle_symmetric(self, triangle):
+        scores = edge_betweenness(triangle, normalized=False)
+        assert all(s == pytest.approx(1.0) for s in scores.values())
+
+    def test_normalization(self, path4):
+        raw = edge_betweenness(path4, normalized=False)
+        norm = edge_betweenness(path4, normalized=True)
+        pairs = 4 * 3 / 2
+        for edge in raw:
+            assert norm[edge] == pytest.approx(raw[edge] / pairs)
+
+    def test_matches_brute_force(self, fig1):
+        fast = edge_betweenness(fig1, normalized=False)
+        slow = brute_force_edge_betweenness(fig1)
+        for edge in fast:
+            assert fast[edge] == pytest.approx(slow[edge], rel=1e-9)
+
+    def test_disconnected_graph(self):
+        g = Graph([(0, 1), (2, 3)])
+        scores = edge_betweenness(g, normalized=False)
+        assert scores[(0, 1)] == pytest.approx(1.0)
+
+
+class TestLabelPropagation:
+    def test_planted_blocks_recovered(self):
+        g = planted_partition(3, 15, p_in=0.6, p_out=0.005, seed=2)
+        labels = label_propagation(g, seed=1)
+        comms = communities_from_labels(labels)
+        big = [c for c in comms if len(c) >= 10]
+        assert len(big) == 3
+
+    def test_labels_cover_vertices(self, fig1):
+        labels = label_propagation(fig1, seed=0)
+        assert set(labels) == set(fig1.vertices())
+
+    def test_communities_touched(self):
+        labels = {1: 0, 2: 0, 3: 1, 4: 2}
+        assert communities_touched(labels, {1, 2}) == 1
+        assert communities_touched(labels, {1, 3, 4}) == 3
+        assert communities_touched(labels, {99}) == 0
+
+
+class TestContagion:
+    def test_cascade_spreads_on_clique(self, k5):
+        result = diversity_cascade(k5, seeds=[0], adoption_rate=0.9, seed=1)
+        assert result.size >= 4
+
+    def test_zero_rate_never_spreads(self, k5):
+        result = diversity_cascade(k5, seeds=[0], adoption_rate=0.0, seed=1)
+        assert result.adopted == {0}
+
+    def test_unknown_seeds_ignored(self, triangle):
+        result = diversity_cascade(triangle, seeds=[99], adoption_rate=0.5)
+        assert result.size == 0
+
+    def test_rate_validation(self, triangle):
+        with pytest.raises(ValueError):
+            diversity_cascade(triangle, [0], adoption_rate=1.5)
+
+    def test_expected_reach_deterministic(self, k5):
+        a = expected_reach(k5, [0], trials=5, seed=3)
+        b = expected_reach(k5, [0], trials=5, seed=3)
+        assert a == b
+        with pytest.raises(ValueError):
+            expected_reach(k5, [0], trials=0)
+
+    def test_diverse_seeds_reach_more(self):
+        """Seeding across two blocks reaches more than inside one."""
+        g = planted_partition(2, 20, p_in=0.4, p_out=0.01, seed=5)
+        inside = expected_reach(g, [0, 1], trials=8, adoption_rate=0.25, seed=7)
+        across = expected_reach(g, [0, 20], trials=8, adoption_rate=0.25, seed=7)
+        assert across >= inside * 0.8  # noisy, but across should not collapse

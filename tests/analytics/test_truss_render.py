@@ -1,0 +1,116 @@
+"""Tests for truss decomposition and ego-network rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import (
+    k_truss_subgraph,
+    max_truss,
+    render_ego_network,
+    topk_truss_edges,
+    truss_numbers,
+)
+from repro.graph import Graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 10)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=35,
+)
+
+
+class TestTrussNumbers:
+    def test_triangle_free_is_truss_two(self, path4):
+        assert set(truss_numbers(path4).values()) == {2}
+
+    def test_triangle(self, triangle):
+        assert set(truss_numbers(triangle).values()) == {3}
+
+    def test_k5_is_five_truss(self, k5):
+        assert set(truss_numbers(k5).values()) == {5}
+        assert max_truss(k5) == 5
+
+    def test_clique_plus_tail(self):
+        g = Graph([(a, b) for a in range(4) for b in range(a + 1, 4)])
+        g.add_edge(3, 9)
+        numbers = truss_numbers(g)
+        assert numbers[(3, 9)] == 2
+        assert all(
+            numbers[e] == 4 for e in numbers if e != (3, 9)
+        )
+
+    def test_fig1_six_clique_core(self, fig1):
+        numbers = truss_numbers(fig1)
+        clique = {"j", "k", "p", "q", "u", "v"}
+        for (u, v), t in numbers.items():
+            if {u, v} <= clique:
+                assert t == 6
+
+    def test_empty_graph(self):
+        assert truss_numbers(Graph()) == {}
+        assert max_truss(Graph()) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(edge_lists, st.integers(2, 5))
+    def test_k_truss_defining_property(self, edges, k):
+        """Every edge of the k-truss closes >= k-2 triangles inside it."""
+        g = Graph(edges)
+        sub = k_truss_subgraph(g, k)
+        for u, v in sub.edges():
+            assert len(sub.common_neighbors(u, v)) >= k - 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(edge_lists)
+    def test_truss_number_is_peel_consistent(self, edges):
+        """The k-truss computed from truss numbers is maximal: adding any
+        removed edge back would violate the support requirement...
+        checked via monotonicity: (k+1)-truss ⊆ k-truss."""
+        g = Graph(edges)
+        numbers = truss_numbers(g)
+        if not numbers:
+            return
+        top = max(numbers.values())
+        previous = None
+        for k in range(2, top + 1):
+            sub = set(k_truss_subgraph(g, k).edges())
+            if previous is not None:
+                assert sub <= previous
+            previous = sub
+
+    def test_topk_and_validation(self, fig1):
+        top = topk_truss_edges(fig1, 3)
+        assert len(top) == 3
+        assert all(t == 6 for _, t in top)
+        with pytest.raises(ValueError):
+            topk_truss_edges(fig1, 0)
+        with pytest.raises(ValueError):
+            k_truss_subgraph(fig1, 1)
+
+
+class TestRenderEgoNetwork:
+    def test_fig1_fg(self, fig1):
+        text = render_ego_network(fig1, "f", "g", tau=2)
+        assert "score 2 at tau=2" in text
+        assert "component 1 (size 2)" in text
+        assert "d-e" in text or "{d, e}" in text
+
+    def test_below_threshold_section(self, fig1):
+        text = render_ego_network(fig1, "b", "c", tau=2)
+        assert "score 0" in text
+        assert "below threshold" in text
+
+    def test_empty_ego(self):
+        g = Graph([(0, 1)])
+        assert "(empty ego-network)" in render_ego_network(g, 0, 1)
+
+    def test_labels(self, fig1):
+        text = render_ego_network(
+            fig1, "f", "g", labels={"d": "Dana", "e": "Eli"}
+        )
+        assert "Dana" in text
+        assert "Eli" in text
+
+    def test_tau_validation(self, fig1):
+        with pytest.raises(ValueError):
+            render_ego_network(fig1, "f", "g", tau=0)

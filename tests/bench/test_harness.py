@@ -1,0 +1,97 @@
+"""Tests for the benchmark harness and reporting machinery."""
+
+import json
+
+import pytest
+
+from repro.bench import ExperimentTable, bench_scale, time_call
+from repro.bench.harness import RESULTS_DIR, Seconds, _fmt, save_tables
+
+
+class TestTimeCall:
+    def test_returns_seconds(self):
+        t = time_call(lambda: sum(range(100)))
+        assert isinstance(t, Seconds)
+        assert t >= 0
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+
+    def test_best_of_repeats(self):
+        calls = []
+        t = time_call(lambda: calls.append(1), repeats=3)
+        assert len(calls) == 3
+        assert t >= 0
+
+
+class TestFormatting:
+    def test_seconds_units(self):
+        assert _fmt(Seconds(0.0000005)).endswith("ms")
+        assert _fmt(Seconds(0.5)) == "500.0ms"
+        assert _fmt(Seconds(2.5)) == "2.50s"
+        assert _fmt(Seconds(0)) == "0"
+
+    def test_plain_float_no_units(self):
+        assert _fmt(3.14159) == "3.14"
+
+    def test_other_types(self):
+        assert _fmt(42) == "42"
+        assert _fmt("x") == "x"
+
+
+class TestExperimentTable:
+    def test_row_arity_checked(self):
+        table = ExperimentTable("E", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_all_cells(self):
+        table = ExperimentTable("Fig. X", "demo", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("beta", 22)
+        table.note("a note")
+        text = table.render()
+        assert "Fig. X: demo" in text
+        assert "alpha" in text
+        assert "22" in text
+        assert "note: a note" in text
+
+    def test_as_dict_round_trips_json(self):
+        table = ExperimentTable("E", "t", ["a"])
+        table.add_row(Seconds(0.25))
+        payload = json.dumps(table.as_dict())
+        back = json.loads(payload)
+        assert back["rows"] == [[0.25]]
+        assert back["rendered_rows"] == [["250.0ms"]]
+
+
+class TestPersistence:
+    def test_save_tables_writes_files(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        table = ExperimentTable("E", "t", ["a"])
+        table.add_row(1)
+        path = harness.save_tables("demo", [table])
+        assert path.exists()
+        assert (tmp_path / "demo.txt").exists()
+        record = json.loads(path.read_text())
+        assert record["name"] == "demo"
+        assert harness.load_results("demo") == record
+
+    def test_load_missing_returns_none(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        assert harness.load_results("nope") is None
+
+
+class TestScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("ESD_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("ESD_BENCH_SCALE", "0.25")
+        assert bench_scale() == 0.25

@@ -1,0 +1,190 @@
+"""Tests for triangle/4-clique enumeration and arboricity bounds."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cliques import (
+    arboricity_bounds,
+    core_numbers,
+    count_cliques,
+    count_four_cliques,
+    count_triangles,
+    degeneracy,
+    iter_cliques,
+    iter_four_cliques,
+    iter_triangles,
+    triangle_count_per_edge,
+)
+from repro.graph import Graph, erdos_renyi
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    max_size=45,
+)
+
+
+def brute_force_cliques(graph: Graph, k: int):
+    """All k-cliques by brute force over vertex combinations."""
+    vertices = sorted(graph.vertices())
+    out = set()
+    for combo in combinations(vertices, k):
+        if all(graph.has_edge(a, b) for a, b in combinations(combo, 2)):
+            out.add(combo)
+    return out
+
+
+class TestTriangles:
+    def test_triangle_graph(self, triangle):
+        assert count_triangles(triangle) == 1
+        assert list(iter_triangles(triangle))[0] is not None
+
+    def test_path_has_none(self, path4):
+        assert count_triangles(path4) == 0
+
+    def test_k4_has_four(self, k4):
+        assert count_triangles(k4) == 4
+
+    def test_k5_has_ten(self, k5):
+        assert count_triangles(k5) == 10
+
+    def test_each_triangle_once(self, k5):
+        tris = list(iter_triangles(k5))
+        assert len(tris) == len({tuple(sorted(t)) for t in tris}) == 10
+
+    def test_per_edge_counts_fig1(self, fig1):
+        counts = triangle_count_per_edge(fig1)
+        # |N(u) ∩ N(v)| per edge equals the triangle count through it.
+        for (u, v), c in counts.items():
+            assert c == len(fig1.common_neighbors(u, v))
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists)
+    def test_matches_brute_force(self, edges):
+        g = Graph(edges)
+        expected = brute_force_cliques(g, 3)
+        got = {tuple(sorted(t)) for t in iter_triangles(g)}
+        assert got == expected
+        assert count_triangles(g) == len(expected)
+
+
+class TestFourCliques:
+    def test_k4_single(self, k4):
+        cliques = list(iter_four_cliques(k4))
+        assert len(cliques) == 1
+        assert tuple(sorted(cliques[0])) == (0, 1, 2, 3)
+
+    def test_k5_five(self, k5):
+        assert count_four_cliques(k5) == 5
+
+    def test_path_none(self, path4):
+        assert count_four_cliques(path4) == 0
+
+    def test_fig1_contains_6clique_subcliques(self, fig1):
+        """{j,k,u,v,p,q} is a 6-clique -> C(6,4)=15 4-cliques inside it."""
+        got = {tuple(sorted(c)) for c in iter_four_cliques(fig1)}
+        inside = {c for c in got if set(c) <= {"j", "k", "u", "v", "p", "q"}}
+        assert len(inside) == 15
+
+    def test_ordering_invariant(self, fig1):
+        """Emitted as (u, v, w1, w2) with u,v the lowest-ranked pair."""
+        for u, v, w1, w2 in iter_four_cliques(fig1):
+            assert len({u, v, w1, w2}) == 4
+            for a, b in combinations((u, v, w1, w2), 2):
+                assert fig1.has_edge(a, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists)
+    def test_matches_brute_force(self, edges):
+        g = Graph(edges)
+        expected = brute_force_cliques(g, 4)
+        got = {tuple(sorted(c)) for c in iter_four_cliques(g)}
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists)
+    def test_no_duplicates(self, edges):
+        g = Graph(edges)
+        cliques = [tuple(sorted(c)) for c in iter_four_cliques(g)]
+        assert len(cliques) == len(set(cliques))
+
+
+class TestGenericKClique:
+    def test_k1_is_vertices(self, triangle):
+        assert count_cliques(triangle, 1) == 3
+
+    def test_k2_is_edges(self, fig1):
+        assert count_cliques(fig1, 2) == fig1.m
+
+    def test_k3_matches_triangles(self, fig1):
+        assert count_cliques(fig1, 3) == count_triangles(fig1)
+
+    def test_k4_matches_dedicated(self, fig1):
+        assert count_cliques(fig1, 4) == count_four_cliques(fig1)
+
+    def test_k6_finds_planted_clique(self, fig1):
+        cliques = list(iter_cliques(fig1, 6))
+        assert len(cliques) == 1
+        assert set(cliques[0]) == {"j", "k", "u", "v", "p", "q"}
+
+    def test_k_validation(self, triangle):
+        with pytest.raises(ValueError):
+            list(iter_cliques(triangle, 0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(edge_lists, st.integers(2, 5))
+    def test_matches_brute_force(self, edges, k):
+        g = Graph(edges)
+        expected = brute_force_cliques(g, k)
+        got = {tuple(sorted(c)) for c in iter_cliques(g, k)}
+        assert got == expected
+
+
+class TestArboricity:
+    def test_core_numbers_clique(self, k5):
+        assert set(core_numbers(k5).values()) == {4}
+
+    def test_core_numbers_star(self):
+        g = Graph([(0, i) for i in range(1, 6)])
+        cores = core_numbers(g)
+        assert cores[0] == 1
+        assert all(cores[i] == 1 for i in range(1, 6))
+
+    def test_degeneracy_empty(self):
+        assert degeneracy(Graph()) == 0
+
+    def test_bounds_sandwich(self, fig1):
+        lower, upper = arboricity_bounds(fig1)
+        assert 0 < lower <= upper
+        # K6 subgraph forces arboricity >= 3 = ceil(15/5); degeneracy 5.
+        assert lower >= 3
+        assert upper == 5
+
+    def test_bounds_tree(self):
+        tree = Graph([(0, 1), (1, 2), (1, 3)])
+        assert arboricity_bounds(tree) == (1, 1)
+
+    def test_bounds_empty_graph(self):
+        assert arboricity_bounds(Graph()) == (0, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists)
+    def test_core_number_defining_property(self, edges):
+        g = Graph(edges)
+        if g.n == 0:
+            return
+        cores = core_numbers(g)
+        k = max(cores.values())
+        # The max-core subgraph has min degree >= k.
+        members = [u for u, c in cores.items() if c == k]
+        sub = g.induced_subgraph(members)
+        if sub.m:
+            assert min(sub.degree(u) for u in sub.vertices()) >= k
+
+    def test_random_graph_bounds_consistent(self):
+        g = erdos_renyi(80, 0.1, seed=12)
+        lower, upper = arboricity_bounds(g)
+        assert lower <= upper
+        assert upper == degeneracy(g)

@@ -1,0 +1,121 @@
+"""Tests for maximal clique enumeration and forest decomposition."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cliques import (
+    arboricity_bounds,
+    clique_number,
+    degeneracy,
+    forest_decomposition,
+    greedy_arboricity_upper_bound,
+    iter_maximal_cliques,
+    maximal_cliques,
+    verify_forest_decomposition,
+)
+from repro.graph import Graph, erdos_renyi
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=40,
+)
+
+
+def brute_force_maximal_cliques(graph: Graph):
+    vertices = sorted(graph.vertices())
+    cliques = set()
+    for size in range(1, graph.n + 1):
+        for combo in combinations(vertices, size):
+            if all(graph.has_edge(a, b) for a, b in combinations(combo, 2)):
+                cliques.add(combo)
+    return {
+        c for c in cliques
+        if not any(set(c) < set(d) for d in cliques if len(d) > len(c))
+    }
+
+
+class TestMaximalCliques:
+    def test_triangle(self, triangle):
+        assert maximal_cliques(triangle) == [(0, 1, 2)]
+
+    def test_path(self, path4):
+        assert maximal_cliques(path4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_k5(self, k5):
+        assert maximal_cliques(k5) == [(0, 1, 2, 3, 4)]
+        assert clique_number(k5) == 5
+
+    def test_isolated_vertex_is_maximal(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        assert (9,) in maximal_cliques(g)
+
+    def test_fig1_contains_six_clique(self, fig1):
+        cliques = maximal_cliques(fig1)
+        assert ("j", "k", "p", "q", "u", "v") in cliques
+        assert clique_number(fig1) == 6
+
+    def test_no_duplicates(self, fig1):
+        cliques = list(iter_maximal_cliques(fig1))
+        assert len(cliques) == len(set(cliques))
+
+    def test_empty_graph(self):
+        assert maximal_cliques(Graph()) == []
+        assert clique_number(Graph()) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(edge_lists)
+    def test_matches_brute_force(self, edges):
+        g = Graph(edges)
+        assert set(iter_maximal_cliques(g)) == brute_force_maximal_cliques(g)
+
+
+class TestForestDecomposition:
+    def test_empty(self):
+        assert forest_decomposition(Graph()) == []
+
+    def test_tree_is_one_forest(self):
+        tree = Graph([(0, 1), (1, 2), (1, 3), (3, 4)])
+        forests = forest_decomposition(tree)
+        assert len(forests) == 1
+        verify_forest_decomposition(tree, forests)
+
+    def test_k5_within_bounds(self, k5):
+        forests = forest_decomposition(k5)
+        verify_forest_decomposition(k5, forests)
+        lower, upper = arboricity_bounds(k5)
+        # alpha(K5) = ceil(10/4) = 3; greedy may use a bit more but must
+        # stay within the degeneracy envelope.
+        assert lower <= len(forests) <= max(upper, lower) + 1
+
+    def test_fig1(self, fig1):
+        forests = forest_decomposition(fig1)
+        verify_forest_decomposition(fig1, forests)
+        lower, _upper = arboricity_bounds(fig1)
+        assert len(forests) >= lower
+
+    def test_greedy_upper_bound_sandwiched(self):
+        g = erdos_renyi(60, 0.12, seed=4)
+        lower, _ = arboricity_bounds(g)
+        greedy = greedy_arboricity_upper_bound(g)
+        assert greedy >= lower
+        assert greedy <= 2 * max(degeneracy(g), 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists)
+    def test_always_valid_partition(self, edges):
+        g = Graph(edges)
+        forests = forest_decomposition(g)
+        verify_forest_decomposition(g, forests)
+
+    def test_verify_rejects_cycle(self, triangle):
+        with pytest.raises(AssertionError):
+            verify_forest_decomposition(triangle, [[(0, 1), (1, 2), (0, 2)]])
+
+    def test_verify_rejects_missing_edges(self, triangle):
+        with pytest.raises(AssertionError):
+            verify_forest_decomposition(triangle, [[(0, 1)]])

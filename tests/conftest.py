@@ -1,0 +1,32 @@
+"""Shared fixtures: the paper's Fig. 1 running-example graph and friends."""
+
+import pytest
+
+from repro.graph import Graph, paper_example_graph
+
+
+@pytest.fixture
+def fig1() -> Graph:
+    """The paper's Fig. 1(a) graph (16 vertices, 40 edges)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path4() -> Graph:
+    """Path 0-1-2-3."""
+    return Graph([(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def k4() -> Graph:
+    return Graph([(a, b) for a in range(4) for b in range(a + 1, 4)])
+
+
+@pytest.fixture
+def k5() -> Graph:
+    return Graph([(a, b) for a in range(5) for b in range(a + 1, 5)])

@@ -1,0 +1,70 @@
+"""Tests for the two upper-bounding rules of §III."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    all_bounds,
+    common_neighbor_bound,
+    edge_structural_diversity,
+    min_degree_bound,
+)
+from repro.graph import Graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=45,
+)
+
+
+class TestBoundValues:
+    def test_min_degree(self, fig1):
+        # d(a) = 2, d(b) = 5 -> bound 2 at tau 1, 1 at tau 2.
+        assert min_degree_bound(fig1, "a", "b", 1) == 2
+        assert min_degree_bound(fig1, "a", "b", 2) == 1
+
+    def test_common_neighbor(self, fig1):
+        # |N(f) ∩ N(g)| = 4.
+        assert common_neighbor_bound(fig1, "f", "g", 1) == 4
+        assert common_neighbor_bound(fig1, "f", "g", 3) == 1
+        assert common_neighbor_bound(fig1, "f", "g", 5) == 0
+
+    def test_tau_validation(self, triangle):
+        with pytest.raises(ValueError):
+            min_degree_bound(triangle, 0, 1, 0)
+        with pytest.raises(ValueError):
+            common_neighbor_bound(triangle, 0, 1, 0)
+
+    def test_all_bounds_unknown_rule(self, triangle):
+        with pytest.raises(KeyError):
+            all_bounds(triangle, 1, "magic")
+
+    def test_all_bounds_covers_edges(self, fig1):
+        bounds = all_bounds(fig1, 2, "common-neighbor")
+        assert set(bounds) == set(fig1.edges())
+
+
+class TestBoundProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists, st.integers(1, 4))
+    def test_bounds_dominate_score(self, edges, tau):
+        """Both rules are valid upper bounds of the exact score."""
+        g = Graph(edges)
+        for u, v in g.edges():
+            score = edge_structural_diversity(g, u, v, tau)
+            cn = common_neighbor_bound(g, u, v, tau)
+            md = min_degree_bound(g, u, v, tau)
+            assert score <= cn <= md
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists)
+    def test_common_neighbor_tighter(self, edges):
+        """§III: |N(u) ∩ N(v)| <= min{d(u), d(v)} edge-wise."""
+        g = Graph(edges)
+        for tau in (1, 2, 3):
+            cn = all_bounds(g, tau, "common-neighbor")
+            md = all_bounds(g, tau, "min-degree")
+            for edge in cn:
+                assert cn[edge] <= md[edge]

@@ -1,0 +1,105 @@
+"""Tests for ESDIndex construction (Algorithms 2 and 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    build_index_basic,
+    build_index_fast,
+    build_index_fast_with_components,
+    compute_components_fast,
+    index_from_sizes,
+)
+from repro.core.diversity import ego_component_sizes
+from repro.graph import Graph, erdos_renyi, gnm_random, load_dataset
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 13), st.integers(0, 13)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=50,
+)
+
+
+def indexes_equal(a, b) -> bool:
+    if a.size_classes != b.size_classes:
+        return False
+    return all(a.class_list(c) == b.class_list(c) for c in a.size_classes)
+
+
+class TestBasicConstruction:
+    def test_empty_graph(self):
+        index = build_index_basic(Graph())
+        assert index.size_classes == []
+
+    def test_triangle(self, triangle):
+        index = build_index_basic(triangle)
+        assert index.size_classes == [1]
+        assert dict(index.class_list(1)) == {(0, 1): 1, (0, 2): 1, (1, 2): 1}
+
+    def test_fig1_valid(self, fig1):
+        build_index_basic(fig1).check_invariants(fig1)
+
+
+class TestFastConstruction:
+    def test_components_match_bfs(self, fig1):
+        components = compute_components_fast(fig1)
+        for u, v in fig1.edges():
+            expected = sorted(ego_component_sizes(fig1, u, v))
+            assert sorted(components[(u, v)].component_sizes()) == expected
+
+    def test_fig1_valid(self, fig1):
+        build_index_fast(fig1).check_invariants(fig1)
+
+    def test_with_components_consistent(self, fig1):
+        index, components = build_index_fast_with_components(fig1)
+        assert set(components) == set(fig1.edges())
+        for edge, m in components.items():
+            sizes = sorted(m.component_sizes())
+            assert index.component_sizes(edge) == sizes
+
+    def test_graph_without_four_cliques(self, path4):
+        """Triangle-free graphs: every common neighbor is a singleton."""
+        index = build_index_fast(path4)
+        assert index.size_classes in ([], [1])
+
+
+class TestAlgorithmsAgree:
+    @pytest.mark.parametrize("name", ["youtube", "dblp"])
+    def test_on_dataset_standins(self, name):
+        g = load_dataset(name, scale=0.15)
+        assert indexes_equal(build_index_basic(g), build_index_fast(g))
+
+    def test_on_random_graph(self):
+        g = erdos_renyi(60, 0.15, seed=2)
+        assert indexes_equal(build_index_basic(g), build_index_fast(g))
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists)
+    def test_property(self, edges):
+        g = Graph(edges)
+        basic = build_index_basic(g)
+        fast = build_index_fast(g)
+        assert indexes_equal(basic, fast)
+        fast.check_invariants(g)
+
+
+class TestIndexFromSizes:
+    def test_skips_empty_multisets(self):
+        index = index_from_sizes({(0, 1): [], (2, 3): [2]})
+        assert index.edge_count == 1
+
+    def test_matches_incremental(self):
+        g = gnm_random(25, 80, seed=11)
+        sizes = {
+            (u, v): ego_component_sizes(g, u, v) for u, v in g.edges()
+        }
+        bulk = index_from_sizes(sizes)
+        from repro.core import ESDIndex
+
+        incremental = ESDIndex()
+        for edge, s in sizes.items():
+            if s:
+                incremental.set_edge(edge, s)
+        assert indexes_equal(bulk, incremental)
+        bulk.check_invariants(g)

@@ -1,0 +1,106 @@
+"""Tests for index persistence, introspection and the degeneracy order."""
+
+import pytest
+
+from repro.cliques import count_four_cliques, iter_four_cliques
+from repro.core import ESDIndex, build_index_fast, topk_exact
+from repro.graph import Graph, OrientedGraph, erdos_renyi, gnm_random
+
+
+class TestSaveLoad:
+    def test_round_trip(self, fig1, tmp_path):
+        index = build_index_fast(fig1)
+        path = tmp_path / "index.json"
+        index.save(path)
+        loaded = ESDIndex.load(path)
+        assert loaded.size_classes == index.size_classes
+        for c in index.size_classes:
+            assert loaded.class_list(c) == index.class_list(c)
+
+    def test_round_trip_int_vertices(self, tmp_path):
+        g = gnm_random(25, 80, seed=3)
+        index = build_index_fast(g)
+        path = tmp_path / "i.json"
+        index.save(path)
+        loaded = ESDIndex.load(path)
+        for tau in (1, 2, 3):
+            assert loaded.topk(10, tau) == index.topk(10, tau)
+
+    def test_empty_index(self, tmp_path):
+        path = tmp_path / "empty.json"
+        ESDIndex().save(path)
+        assert ESDIndex.load(path).topk(3, 1) == []
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "edges": []}')
+        with pytest.raises(ValueError):
+            ESDIndex.load(path)
+
+    def test_loaded_index_queries_match_exact(self, fig1, tmp_path):
+        path = tmp_path / "fig1.json"
+        build_index_fast(fig1).save(path)
+        loaded = ESDIndex.load(path)
+        for tau in (1, 2, 3, 4, 5):
+            exact = [(e, s) for e, s in topk_exact(fig1, 40, tau) if s > 0]
+            assert loaded.topk(40, tau) == exact
+
+
+class TestIntrospection:
+    def test_stats_shape(self, fig1):
+        stats = build_index_fast(fig1).stats()
+        assert stats["edges"] == 40
+        assert stats["size_classes"] == [1, 2, 4, 5]
+        assert stats["entries"] == sum(stats["class_sizes"].values())
+        assert stats["histogram_cells"] > 0
+
+    def test_diversity_profile(self, fig1):
+        index = build_index_fast(fig1)
+        # (f, g): components {2, 2} -> profile {2: 2}.
+        assert index.diversity_profile(("f", "g")) == {2: 2}
+        # (j, k): components {2, 4} -> at tau<=2 score 2, at tau in (2,4] 1.
+        assert index.diversity_profile(("j", "k")) == {2: 2, 4: 1}
+        assert index.diversity_profile(("zz", "zz2")) == {}
+
+    def test_profile_consistent_with_score(self, fig1):
+        from repro.core import edge_structural_diversity
+
+        index = build_index_fast(fig1)
+        for edge in list(fig1.edges())[:12]:
+            profile = index.diversity_profile(edge)
+            for tau, score in profile.items():
+                assert edge_structural_diversity(fig1, *edge, tau) == score
+
+
+class TestDegeneracyOrientation:
+    def test_same_cliques_both_orders(self):
+        g = erdos_renyi(50, 0.2, seed=7)
+        by_degree = {tuple(sorted(c)) for c in iter_four_cliques(g, order="degree")}
+        by_degeneracy = {
+            tuple(sorted(c)) for c in iter_four_cliques(g, order="degeneracy")
+        }
+        assert by_degree == by_degeneracy
+
+    def test_counts_agree(self, fig1):
+        assert count_four_cliques(fig1) == count_four_cliques(
+            fig1, order="degeneracy"
+        )
+
+    def test_unknown_order_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            OrientedGraph(triangle, order="magic")
+
+    def test_degeneracy_orientation_bounds_outdegree(self):
+        """Defining property: out-degrees <= degeneracy under this order."""
+        from repro.cliques import degeneracy
+
+        g = erdos_renyi(60, 0.15, seed=9)
+        dag = OrientedGraph(g, order="degeneracy")
+        assert dag.max_out_degree() <= degeneracy(g)
+
+    def test_orientation_is_partition(self):
+        g = gnm_random(30, 90, seed=5)
+        dag = OrientedGraph(g, order="degeneracy")
+        assert sorted(tuple(sorted(e)) for e in dag.directed_edges()) == sorted(
+            g.edges()
+        )

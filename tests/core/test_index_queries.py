@@ -1,0 +1,81 @@
+"""Tests for the lazy/threshold query surface of ESDIndex."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_index_fast, topk_exact
+from repro.graph import Graph, gnm_random
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=45,
+)
+
+
+class TestIterRanked:
+    def test_streams_in_order(self, fig1):
+        index = build_index_fast(fig1)
+        for tau in (1, 2, 3, 5):
+            streamed = list(index.iter_ranked(tau))
+            assert streamed == index.topk(len(streamed) + 5, tau)
+
+    def test_lazy_consumption(self, fig1):
+        index = build_index_fast(fig1)
+        iterator = index.iter_ranked(1)
+        first = next(iterator)
+        assert first == index.topk(1, 1)[0]
+
+    def test_empty_for_large_tau(self, fig1):
+        index = build_index_fast(fig1)
+        assert list(index.iter_ranked(99)) == []
+
+    def test_tau_validation(self, fig1):
+        index = build_index_fast(fig1)
+        with pytest.raises(ValueError):
+            list(index.iter_ranked(0))
+
+
+class TestThresholdQueries:
+    def test_fig1_threshold_two(self, fig1):
+        index = build_index_fast(fig1)
+        result = index.edges_with_score_at_least(2, 2)
+        assert {e for e, _ in result} == {("f", "g"), ("h", "i"), ("j", "k")}
+
+    def test_threshold_one_equals_all_positive(self, fig1):
+        index = build_index_fast(fig1)
+        result = index.edges_with_score_at_least(1, 1)
+        assert len(result) == index.edge_count == 40
+
+    def test_validation(self, fig1):
+        index = build_index_fast(fig1)
+        with pytest.raises(ValueError):
+            index.edges_with_score_at_least(0, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists, st.integers(1, 4), st.integers(1, 4))
+    def test_matches_filtered_exact(self, edges, tau, threshold):
+        g = Graph(edges)
+        index = build_index_fast(g)
+        expected = [
+            (e, s) for e, s in topk_exact(g, max(g.m, 1), tau)
+            if s >= threshold
+        ]
+        assert index.edges_with_score_at_least(threshold, tau) == expected
+
+
+class TestWorkloadsCache:
+    def test_dataset_cached(self):
+        from repro.bench import dataset
+
+        a = dataset("youtube", 0.1)
+        b = dataset("youtube", 0.1)
+        assert a is b  # lru_cache returns the same object
+
+    def test_all_datasets_order(self):
+        from repro.bench import all_datasets
+        from repro.graph import DATASET_NAMES
+
+        graphs = all_datasets(0.1)
+        assert list(graphs) == DATASET_NAMES

@@ -1,0 +1,176 @@
+"""Tests for dynamic index maintenance (Algorithms 4 and 5).
+
+The load-bearing checks are differential: after every scripted update,
+``DynamicESDIndex.check_invariants`` recomputes M and the index from
+scratch and requires exact agreement.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicESDIndex, build_index_fast
+from repro.graph import Graph, gnm_random
+
+
+def indexes_equal(a, b) -> bool:
+    if a.size_classes != b.size_classes:
+        return False
+    return all(a.class_list(c) == b.class_list(c) for c in a.size_classes)
+
+
+class TestInsertEdge:
+    def test_duplicate_insert_rejected(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        with pytest.raises(ValueError):
+            dyn.insert_edge("a", "b")
+
+    def test_insert_between_new_vertices(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        dyn.insert_edge("x1", "x2")
+        dyn.check_invariants()
+        assert dyn.graph.has_edge("x1", "x2")
+        # Edge with empty ego-network is in no H(c).
+        assert dyn.index.component_sizes(("x1", "x2")) == []
+
+    def test_insert_closing_triangle(self):
+        g = Graph([(0, 1), (1, 2)])
+        dyn = DynamicESDIndex(g)
+        dyn.insert_edge(0, 2)
+        dyn.check_invariants()
+        assert dyn.index.component_sizes((0, 1)) == [1]
+
+    def test_insert_matches_rebuild(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        dyn.insert_edge("c", "d")
+        rebuilt = build_index_fast(dyn.graph)
+        assert indexes_equal(dyn.index, rebuilt)
+
+    def test_stats_locality(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        stats = dyn.insert_edge("a", "d")  # small neighborhood
+        assert stats.edges_rescored < fig1.m
+
+    def test_does_not_mutate_input_graph(self, fig1):
+        m_before = fig1.m
+        dyn = DynamicESDIndex(fig1)
+        dyn.insert_edge("a", "d")
+        assert fig1.m == m_before
+
+
+class TestDeleteEdge:
+    def test_missing_delete_rejected(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        with pytest.raises(KeyError):
+            dyn.delete_edge("a", "w")
+
+    def test_delete_matches_rebuild(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        dyn.delete_edge("u", "k")
+        assert indexes_equal(dyn.index, build_index_fast(dyn.graph))
+
+    def test_delete_isolated_common_neighbor_case(self):
+        # Triangle: deleting one edge leaves the others with empty egos.
+        dyn = DynamicESDIndex(Graph([(0, 1), (1, 2), (0, 2)]))
+        dyn.delete_edge(0, 1)
+        dyn.check_invariants()
+        assert dyn.index.edge_count == 0
+
+    def test_delete_splits_component(self, k5):
+        """In K5, deleting (0,1) splits nothing (others still connected),
+        but the ego of (0,1)-adjacent edges shrinks."""
+        dyn = DynamicESDIndex(k5)
+        dyn.delete_edge(0, 1)
+        dyn.check_invariants()
+        # Edge (2,3)'s ego {0,1,4}: 0-1 gone but both still link via 4.
+        assert dyn.index.component_sizes((2, 3)) == [3]
+
+    def test_delete_bridge_of_ego(self):
+        """Deleting an edge that was the only link between two halves of
+        another edge's ego-network must split that component."""
+        # Edge (a,b); common neighbors w1, w2; w1-w2 is the deleted edge.
+        g = Graph([("a", "b"), ("a", "w1"), ("b", "w1"), ("a", "w2"),
+                   ("b", "w2"), ("w1", "w2")])
+        dyn = DynamicESDIndex(g)
+        assert dyn.index.component_sizes(("a", "b")) == [2]
+        dyn.delete_edge("w1", "w2")
+        dyn.check_invariants()
+        assert dyn.index.component_sizes(("a", "b")) == [1, 1]
+
+
+class TestInsertDeleteInverse:
+    def test_roundtrip_restores_index(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        reference = build_index_fast(fig1)
+        dyn.insert_edge("c", "d")
+        dyn.delete_edge("c", "d")
+        dyn.check_invariants()
+        assert indexes_equal(dyn.index, reference)
+
+    def test_delete_then_reinsert(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        reference = build_index_fast(fig1)
+        dyn.delete_edge("f", "g")
+        dyn.insert_edge("f", "g")
+        dyn.check_invariants()
+        assert indexes_equal(dyn.index, reference)
+
+
+class TestRandomEditScripts:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_scripted_updates_stay_consistent(self, seed):
+        rng = random.Random(seed)
+        g = gnm_random(18, 45, seed=seed)
+        dyn = DynamicESDIndex(g)
+        for step in range(30):
+            edges = dyn.graph.edge_list()
+            if edges and rng.random() < 0.5:
+                u, v = rng.choice(edges)
+                dyn.delete_edge(u, v)
+            else:
+                u = rng.randrange(18)
+                v = rng.randrange(18)
+                if u != v and not dyn.graph.has_edge(u, v):
+                    dyn.insert_edge(u, v)
+            dyn.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=25,
+        ),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["ins", "del"]),
+                st.integers(0, 9),
+                st.integers(0, 9),
+            ).filter(lambda op: op[1] != op[2]),
+            max_size=15,
+        ),
+    )
+    def test_property_random_scripts(self, base_edges, ops):
+        dyn = DynamicESDIndex(Graph(base_edges))
+        for op, u, v in ops:
+            if op == "ins":
+                if not dyn.graph.has_edge(u, v):
+                    dyn.insert_edge(u, v)
+            else:
+                if dyn.graph.has_edge(u, v):
+                    dyn.delete_edge(u, v)
+        dyn.check_invariants()
+        assert indexes_equal(dyn.index, build_index_fast(dyn.graph))
+
+    def test_queries_after_edits(self, fig1):
+        from repro.core import topk_exact
+
+        dyn = DynamicESDIndex(fig1)
+        dyn.delete_edge("u", "k")
+        dyn.insert_edge("c", "d")
+        for tau in (1, 2, 3):
+            exact = [(e, s) for e, s in topk_exact(dyn.graph, 10, tau) if s > 0]
+            assert dyn.topk(10, tau) == exact

@@ -1,0 +1,63 @@
+"""Model-based fuzzing of DynamicESDIndex.
+
+The machine applies arbitrary insert/delete/vertex operations and, after
+every step, compares the maintained index against a from-scratch rebuild
+-- the strongest differential oracle available.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import DynamicESDIndex, build_index_fast
+from repro.graph import Graph
+
+VERTICES = list(range(9))
+
+
+class DynamicIndexMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        base = Graph([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (0, 3)])
+        self.dyn = DynamicESDIndex(base)
+
+    @rule(u=st.sampled_from(VERTICES), v=st.sampled_from(VERTICES))
+    def insert(self, u, v):
+        if u != v and not self.dyn.graph.has_edge(u, v):
+            self.dyn.insert_edge(u, v)
+
+    @rule(u=st.sampled_from(VERTICES), v=st.sampled_from(VERTICES))
+    def delete(self, u, v):
+        if self.dyn.graph.has_edge(u, v):
+            self.dyn.delete_edge(u, v)
+
+    @rule(v=st.sampled_from(VERTICES))
+    def delete_vertex(self, v):
+        if v in self.dyn.graph:
+            self.dyn.delete_vertex(v)
+
+    @rule(
+        v=st.sampled_from(VERTICES),
+        neighbors=st.sets(st.sampled_from(VERTICES), max_size=4),
+    )
+    def insert_vertex(self, v, neighbors):
+        graph = self.dyn.graph
+        if v in graph and graph.degree(v) > 0:
+            return
+        self.dyn.insert_vertex(
+            v, [w for w in neighbors if w != v and w in graph]
+        )
+
+    @invariant()
+    def matches_rebuild(self):
+        self.dyn.check_invariants()
+        rebuilt = build_index_fast(self.dyn.graph)
+        assert self.dyn.index.size_classes == rebuilt.size_classes
+        for c in rebuilt.size_classes:
+            assert self.dyn.index.class_list(c) == rebuilt.class_list(c)
+
+
+TestDynamicIndexStateful = DynamicIndexMachine.TestCase
+TestDynamicIndexStateful.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)

@@ -1,0 +1,141 @@
+"""Tests for TopKMonitor and the vertex/batch maintenance extensions."""
+
+import pytest
+
+from repro.core import DynamicESDIndex, TopKMonitor, build_index_fast
+from repro.graph import Graph, gnm_random, planted_diversity_graph
+
+
+def indexes_equal(a, b) -> bool:
+    if a.size_classes != b.size_classes:
+        return False
+    return all(a.class_list(c) == b.class_list(c) for c in a.size_classes)
+
+
+class TestVertexUpdates:
+    def test_insert_vertex(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        stats = dyn.insert_vertex("z", ["f", "g", "h"])
+        assert len(stats) == 3
+        dyn.check_invariants()
+        assert indexes_equal(dyn.index, build_index_fast(dyn.graph))
+
+    def test_insert_existing_vertex_rejected(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        with pytest.raises(ValueError):
+            dyn.insert_vertex("a", ["f"])
+
+    def test_insert_isolated_then_connect(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        dyn.graph.add_vertex("iso")  # isolated vertices are fine to extend
+        stats = dyn.insert_vertex("iso2", [])
+        assert stats == []
+
+    def test_delete_vertex(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        dyn.delete_vertex("u")
+        assert "u" not in dyn.graph
+        dyn.check_invariants()
+        assert indexes_equal(dyn.index, build_index_fast(dyn.graph))
+
+    def test_delete_missing_vertex(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        with pytest.raises(KeyError):
+            dyn.delete_vertex("zz")
+
+    def test_vertex_roundtrip(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        reference = build_index_fast(fig1)
+        neighbors = sorted(fig1.neighbors("w"))
+        dyn.delete_vertex("w")
+        dyn.insert_vertex("w", neighbors)
+        dyn.check_invariants()
+        assert indexes_equal(dyn.index, reference)
+
+
+class TestBatchUpdates:
+    def test_batch_matches_sequence(self, fig1):
+        batch = DynamicESDIndex(fig1)
+        stats = batch.apply_batch(
+            insertions=[("c", "d"), ("a", "e")],
+            deletions=[("u", "k"), ("f", "g")],
+        )
+        batch.check_invariants()
+        assert stats.edges_rescored > 0
+        assert indexes_equal(batch.index, build_index_fast(batch.graph))
+
+    def test_swap_batch_order(self, fig1):
+        """Deleting then reinserting the same edge in one batch works
+        because deletions run first."""
+        dyn = DynamicESDIndex(fig1)
+        reference = build_index_fast(fig1)
+        dyn.apply_batch(insertions=[("u", "k")], deletions=[("u", "k")])
+        assert indexes_equal(dyn.index, reference)
+
+    def test_empty_batch(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        stats = dyn.apply_batch()
+        assert stats.edges_rescored == 0
+
+
+class TestTopKMonitor:
+    def test_parameter_validation(self, triangle):
+        with pytest.raises(ValueError):
+            TopKMonitor(triangle, k=0, tau=1)
+        with pytest.raises(ValueError):
+            TopKMonitor(triangle, k=1, tau=0)
+
+    def test_initial_top_matches_index(self, fig1):
+        monitor = TopKMonitor(fig1, k=3, tau=2)
+        assert monitor.top == build_index_fast(fig1).topk(3, 2)
+
+    def test_insert_reports_change(self):
+        g = planted_diversity_graph(hub_pairs=2, components_per_pair=3,
+                                    noise_edges=0, noise_vertices=0, seed=1)
+        monitor = TopKMonitor(g, k=1, tau=2)
+        ((top_edge, top_score),) = monitor.top
+        assert top_edge == (0, 1)
+        # Give the runner-up pair (2, 3) two fresh planted components so it
+        # overtakes the current leader.
+        base = max(g.vertices()) + 1
+        changes = []
+        for start in (base, base + 2):
+            w1, w2 = start, start + 1
+            changes.append(monitor.insert(2, w1))
+            changes.append(monitor.insert(3, w1))
+            changes.append(monitor.insert(2, w2))
+            changes.append(monitor.insert(3, w2))
+            changes.append(monitor.insert(w1, w2))
+        assert any(c.changed for c in changes)
+        assert monitor.top[0][0] == (2, 3)
+        assert monitor.top[0][1] > top_score
+
+    def test_delete_reports_change(self, fig1):
+        monitor = TopKMonitor(fig1, k=3, tau=2)
+        change = monitor.delete("f", "g")
+        assert change.update == "delete"
+        assert change.edge == ("f", "g")
+        assert (("f", "g"), 2) in change.left
+        assert monitor.history[-1] is change
+
+    def test_no_change_on_irrelevant_update(self, fig1):
+        monitor = TopKMonitor(fig1, k=1, tau=5)
+        change = monitor.insert("a", "d")
+        assert not change.changed
+
+    def test_monitor_stays_exact_over_stream(self):
+        import random
+
+        g = gnm_random(16, 40, seed=4)
+        monitor = TopKMonitor(g, k=4, tau=1)
+        rng = random.Random(9)
+        for _ in range(20):
+            edges = monitor.dynamic_index.graph.edge_list()
+            if edges and rng.random() < 0.5:
+                monitor.delete(*rng.choice(edges))
+            else:
+                u, v = rng.randrange(16), rng.randrange(16)
+                if u != v and not monitor.dynamic_index.graph.has_edge(u, v):
+                    monitor.insert(u, v)
+            expected = build_index_fast(monitor.dynamic_index.graph).topk(4, 1)
+            assert monitor.top == expected

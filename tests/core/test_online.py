@@ -1,0 +1,92 @@
+"""Tests for the dequeue-twice online search (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import online_bfs, online_bfs_plus, topk_exact, topk_online
+from repro.graph import Graph, gnm_random, planted_diversity_graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestOnlineBasics:
+    def test_parameter_validation(self, triangle):
+        with pytest.raises(ValueError):
+            topk_online(triangle, 0, 1)
+        with pytest.raises(ValueError):
+            topk_online(triangle, 1, 0)
+        with pytest.raises(KeyError):
+            topk_online(triangle, 1, 1, bound="nope")
+
+    def test_empty_graph(self):
+        assert topk_online(Graph(), 3, 1) == []
+
+    def test_k_exceeds_m(self, triangle):
+        assert len(topk_online(triangle, 10, 1)) == 3
+
+    def test_results_sorted_descending(self):
+        g = gnm_random(40, 150, seed=4)
+        results = topk_online(g, 15, 1)
+        scores = [s for _, s in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_aliases(self, fig1):
+        assert online_bfs(fig1, 3, 2) == topk_online(fig1, 3, 2, bound="min-degree")
+        assert online_bfs_plus(fig1, 3, 2) == topk_online(
+            fig1, 3, 2, bound="common-neighbor"
+        )
+
+    def test_planted_ranking_found(self):
+        g = planted_diversity_graph(hub_pairs=4, components_per_pair=5, seed=8)
+        results = topk_online(g, 1, 2)
+        assert results[0] == ((0, 1), 5)
+
+
+class TestDequeueTwiceEquivalence:
+    @pytest.mark.parametrize("bound", ["min-degree", "common-neighbor"])
+    @pytest.mark.parametrize("k", [1, 3, 10, 100])
+    @pytest.mark.parametrize("tau", [1, 2, 3])
+    def test_matches_exact_on_random_graph(self, bound, k, tau):
+        g = gnm_random(30, 100, seed=k * 7 + tau)
+        online = topk_online(g, k, tau, bound=bound)
+        exact = topk_exact(g, k, tau)
+        assert online == exact
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists, st.integers(1, 8), st.integers(1, 4),
+           st.sampled_from(["min-degree", "common-neighbor"]))
+    def test_matches_exact_property(self, edges, k, tau, bound):
+        g = Graph(edges)
+        assert topk_online(g, k, tau, bound=bound) == topk_exact(g, k, tau)
+
+
+class TestPruningInstrumentation:
+    def test_stats_shape(self, fig1):
+        results, stats = topk_online(fig1, 3, 2, with_stats=True)
+        assert stats.edges_total == fig1.m
+        assert stats.evaluated <= fig1.m
+        assert stats.pruned == fig1.m - stats.evaluated
+        assert stats.results == results
+        assert stats.bound_rule == "common-neighbor"
+
+    def test_tighter_bound_prunes_no_less(self):
+        """The Exp-1 claim: the common-neighbor rule evaluates fewer (or
+        equal) edges exactly than the min-degree rule."""
+        g = planted_diversity_graph(
+            hub_pairs=5, components_per_pair=5, noise_edges=300,
+            noise_vertices=150, seed=3,
+        )
+        _, plus = topk_online(g, 5, 2, bound="common-neighbor", with_stats=True)
+        _, base = topk_online(g, 5, 2, bound="min-degree", with_stats=True)
+        assert plus.evaluated <= base.evaluated
+
+    def test_small_k_prunes_more(self):
+        g = gnm_random(50, 200, seed=6)
+        _, s1 = topk_online(g, 1, 2, with_stats=True)
+        _, s2 = topk_online(g, 50, 2, with_stats=True)
+        assert s1.evaluated <= s2.evaluated

@@ -1,0 +1,73 @@
+"""Tests for the ordering-based online search (Chang et al. adaptation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import topk_exact, topk_online, topk_ordering
+from repro.graph import Graph, gnm_random, planted_diversity_graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 13), st.integers(0, 13)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=48,
+)
+
+
+class TestOrderingSearch:
+    def test_parameter_validation(self, triangle):
+        with pytest.raises(ValueError):
+            topk_ordering(triangle, 0, 1)
+        with pytest.raises(ValueError):
+            topk_ordering(triangle, 1, 0)
+        with pytest.raises(KeyError):
+            topk_ordering(triangle, 1, 1, bound="nope")
+
+    def test_empty_graph(self):
+        assert topk_ordering(Graph(), 3, 1) == []
+
+    def test_fig1_matches_exact(self, fig1):
+        for tau in (1, 2, 3, 5):
+            got = topk_ordering(fig1, 4, tau)
+            exact = topk_exact(fig1, 4, tau)
+            assert [s for _, s in got] == [s for _, s in exact]
+
+    def test_planted_top_edge(self):
+        g = planted_diversity_graph(hub_pairs=3, components_per_pair=5, seed=2)
+        assert topk_ordering(g, 1, 2)[0] == ((0, 1), 5)
+
+    def test_results_sorted(self):
+        g = gnm_random(30, 110, seed=3)
+        results = topk_ordering(g, 12, 1)
+        scores = [s for _, s in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_stats_instrumentation(self, fig1):
+        results, stats = topk_ordering(fig1, 3, 2, with_stats=True)
+        assert stats.edges_total == fig1.m
+        assert 0 < stats.evaluated <= fig1.m
+        assert stats.results == results
+
+    def test_early_termination_prunes(self):
+        """High-bound planted edges let the scan stop before the tail."""
+        g = planted_diversity_graph(
+            hub_pairs=4, components_per_pair=5, noise_edges=250,
+            noise_vertices=150, seed=5,
+        )
+        _, stats = topk_ordering(g, 4, 2, with_stats=True)
+        assert stats.evaluated < g.m
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists, st.integers(1, 8), st.integers(1, 4),
+           st.sampled_from(["min-degree", "common-neighbor"]))
+    def test_score_multiset_matches_dequeue_twice(self, edges, k, tau, bound):
+        """Both frameworks return the same score multiset (the edge
+        identities may differ only within score ties)."""
+        g = Graph(edges)
+        a = topk_ordering(g, k, tau, bound=bound)
+        b = topk_online(g, k, tau, bound=bound)
+        assert [s for _, s in a] == [s for _, s in b]
+        # Every returned edge's score must be correct.
+        exact = dict(topk_exact(g, g.m, tau)) if g.m else {}
+        for edge, score in a:
+            assert exact[edge] == score

@@ -1,0 +1,177 @@
+"""Every worked example in the paper, asserted against Fig. 1's graph.
+
+The Fig. 1(a) graph is reconstructed in
+:func:`repro.graph.datasets.paper_example_graph`; these tests pin down
+each number the paper derives from it (Examples 1-7, Fig. 2, Figs. 3-4),
+so any regression in the core algorithms is caught against ground truth
+the authors themselves published.
+"""
+
+import pytest
+
+from repro.core import (
+    DynamicESDIndex,
+    build_index_basic,
+    build_index_fast,
+    edge_structural_diversity,
+    ego_component_sizes,
+    topk_exact,
+    topk_online,
+)
+from repro.graph import ego_network
+
+
+class TestExample1And2:
+    """Definition 1/2 on edge (f, g)."""
+
+    def test_ego_network_of_fg(self, fig1):
+        ego = ego_network(fig1, "f", "g")
+        assert set(ego.vertices()) == {"d", "e", "h", "i"}
+        assert sorted(ego.edges()) == [("d", "e"), ("h", "i")]
+
+    @pytest.mark.parametrize("tau,expected", [(1, 2), (2, 2), (3, 0)])
+    def test_score_fg(self, fig1, tau, expected):
+        assert edge_structural_diversity(fig1, "f", "g", tau) == expected
+
+
+class TestExample3:
+    """Top-3 answers for tau = 2 and tau = 5."""
+
+    def test_tau_2(self, fig1):
+        top = topk_exact(fig1, 3, 2)
+        assert {edge for edge, _ in top} == {("f", "g"), ("h", "i"), ("j", "k")}
+        assert all(score == 2 for _, score in top)
+
+    def test_tau_5(self, fig1):
+        top = topk_exact(fig1, 3, 5)
+        assert {edge for edge, _ in top} == {("p", "u"), ("q", "u"), ("p", "q")}
+        assert all(score == 1 for _, score in top)
+
+    def test_other_edges_zero_at_tau_5(self, fig1):
+        answers = {("p", "u"), ("q", "u"), ("p", "q")}
+        for u, v in fig1.edges():
+            if (u, v) not in answers:
+                assert edge_structural_diversity(fig1, u, v, 5) == 0
+
+
+class TestExample4Fig2:
+    """The ESDIndex of Fig. 2: C = {1, 2, 4, 5} and list contents."""
+
+    @pytest.fixture(params=["basic", "fast"])
+    def index(self, request, fig1):
+        builder = build_index_basic if request.param == "basic" else build_index_fast
+        return builder(fig1)
+
+    def test_size_classes(self, index):
+        assert index.size_classes == [1, 2, 4, 5]
+
+    def test_h1_contains_all_edges(self, index, fig1):
+        assert len(index.class_list(1)) == fig1.m
+
+    def test_h1_top_scores(self, index):
+        """(b,c), (b,e), (c,e) have score 2 at tau = 1 (Fig. 2(a))."""
+        h1 = dict(index.class_list(1))
+        assert h1[("b", "c")] == 2
+        assert h1[("b", "e")] == 2
+        assert h1[("c", "e")] == 2
+
+    def test_h2_excludes_singleton_only_edges(self, index):
+        """Example 4's seven excluded edges."""
+        h2 = dict(index.class_list(2))
+        for edge in [("a", "b"), ("a", "c"), ("b", "c"), ("b", "d"),
+                     ("b", "e"), ("c", "e"), ("c", "g")]:
+            assert edge not in h2
+        assert len(h2) == 40 - 7
+
+    def test_h2_top_entries(self, index):
+        h2 = dict(index.class_list(2))
+        assert h2[("f", "g")] == 2
+        assert h2[("h", "i")] == 2
+        assert h2[("j", "k")] == 2
+        assert h2[("q", "w")] == 1
+
+    def test_h4_is_the_six_clique(self, index):
+        """H(4) = the 15 edges of the {j,k,u,v,p,q} clique, score 1 each."""
+        h4 = dict(index.class_list(4))
+        assert len(h4) == 15
+        clique = {"j", "k", "u", "v", "p", "q"}
+        for (u, v), score in h4.items():
+            assert {u, v} <= clique
+            assert score == 1
+
+    def test_h5_three_edges(self, index):
+        h5 = dict(index.class_list(5))
+        assert h5 == {("p", "u"): 1, ("q", "u"): 1, ("p", "q"): 1}
+
+
+class TestExample5:
+    """Query (k=3, tau=2) answered from H(2)."""
+
+    def test_index_query(self, fig1):
+        index = build_index_fast(fig1)
+        top = index.topk(3, 2)
+        assert {edge for edge, _ in top} == {("f", "g"), ("h", "i"), ("j", "k")}
+
+    def test_tau_3_uses_h4(self, fig1):
+        """tau=3 is not in C; the smallest c* >= 3 is 4 (Theorem 4)."""
+        index = build_index_fast(fig1)
+        top = index.topk(15, 3)
+        assert len(top) == 15
+        exact = dict(topk_exact(fig1, 40, 3))
+        for edge, score in top:
+            assert exact[edge] == score
+
+
+class TestOnlineMatchesExamples:
+    @pytest.mark.parametrize("bound", ["min-degree", "common-neighbor"])
+    @pytest.mark.parametrize("tau", [1, 2, 3, 4, 5, 6])
+    def test_online_equals_exact_scores(self, fig1, bound, tau):
+        online = topk_online(fig1, 5, tau, bound=bound)
+        exact = topk_exact(fig1, 5, tau)
+        assert [s for _, s in online] == [s for _, s in exact]
+
+
+class TestExample6Insertion:
+    """Inserting (c, d): Fig. 3's before/after ego-networks of (d, e)."""
+
+    def test_before(self, fig1):
+        sizes = sorted(ego_component_sizes(fig1, "d", "e"))
+        # {f, g} one component, isolated vertex b another.
+        assert sizes == [1, 2]
+
+    def test_after(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        dyn.insert_edge("c", "d")
+        sizes = dyn.index.component_sizes(("d", "e"))
+        assert sizes == [4]  # single component {b, c, f, g}
+        dyn.check_invariants()
+
+    def test_n_cd(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        dyn.insert_edge("c", "d")
+        assert dyn.graph.common_neighbors("c", "d") == {"b", "e", "g"}
+
+
+class TestExample7Deletion:
+    """Deleting (u, k): H(3) is created and (j, k) lands in it."""
+
+    def test_jk_sizes_after_delete(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        dyn.delete_edge("u", "k")
+        assert dyn.index.component_sizes(("j", "k")) == [2, 3]
+        dyn.check_invariants()
+
+    def test_h3_created_with_jk(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        dyn.delete_edge("u", "k")
+        assert 3 in dyn.index.size_classes
+        h3 = dict(dyn.index.class_list(3))
+        assert ("j", "k") in h3
+
+    def test_h3_backfilled_with_larger_components(self, fig1):
+        """Edges with components >= 3 (e.g. (p,q) with size 5) must also be
+        in the new H(3), or tau=3 queries would miss them."""
+        dyn = DynamicESDIndex(fig1)
+        dyn.delete_edge("u", "k")
+        h3 = dict(dyn.index.class_list(3))
+        assert ("p", "q") in h3

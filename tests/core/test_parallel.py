@@ -1,0 +1,92 @@
+"""Tests for the parallel index construction (PESDIndex+)."""
+
+import pytest
+
+from repro.core import (
+    build_index_fast,
+    build_index_parallel,
+    parallel_component_sizes,
+    parallel_four_cliques,
+    simulate_parallel_speedup,
+)
+from repro.cliques import iter_four_cliques
+from repro.core.diversity import ego_component_sizes
+from repro.graph import Graph, erdos_renyi, load_dataset
+
+
+def indexes_equal(a, b) -> bool:
+    if a.size_classes != b.size_classes:
+        return False
+    return all(a.class_list(c) == b.class_list(c) for c in a.size_classes)
+
+
+class TestParallelBuild:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_matches_sequential(self, threads):
+        g = load_dataset("youtube", scale=0.3)
+        assert indexes_equal(
+            build_index_fast(g), build_index_parallel(g, threads=threads)
+        )
+
+    def test_fig1(self, fig1):
+        assert indexes_equal(
+            build_index_fast(fig1), build_index_parallel(fig1, threads=2)
+        )
+
+    def test_empty_graph(self):
+        index = build_index_parallel(Graph(), threads=2)
+        assert index.size_classes == []
+
+    def test_thread_validation(self, triangle):
+        with pytest.raises(ValueError):
+            build_index_parallel(triangle, threads=-1)
+
+    def test_default_thread_count(self, triangle):
+        # threads=0 -> cpu count; must still be correct.
+        assert indexes_equal(
+            build_index_fast(triangle), build_index_parallel(triangle, threads=0)
+        )
+
+
+class TestParallelComponentSizes:
+    def test_matches_direct(self, fig1):
+        sizes = parallel_component_sizes(fig1, threads=2)
+        for (u, v), s in sizes.items():
+            assert sorted(s) == sorted(ego_component_sizes(fig1, u, v))
+
+    def test_edges_without_common_neighbors_absent(self):
+        g = Graph([(0, 1), (1, 2)])
+        assert parallel_component_sizes(g, threads=1) == {}
+
+
+class TestParallelFourCliques:
+    @pytest.mark.parametrize("threads", [1, 3])
+    def test_matches_sequential_enumeration(self, fig1, threads):
+        expected = {tuple(sorted(c)) for c in iter_four_cliques(fig1)}
+        got = {tuple(sorted(c)) for c in parallel_four_cliques(fig1, threads=threads)}
+        assert got == expected
+
+    def test_random_graph(self):
+        g = erdos_renyi(40, 0.25, seed=7)
+        expected = sorted(tuple(sorted(c)) for c in iter_four_cliques(g))
+        got = sorted(tuple(sorted(c)) for c in parallel_four_cliques(g, threads=2))
+        assert got == expected
+
+
+class TestSpeedupSimulation:
+    def test_monotone_and_bounded(self):
+        g = load_dataset("pokec", scale=0.4)
+        results = [simulate_parallel_speedup(g, t) for t in (1, 2, 4)]
+        speedups = [r["speedup"] for r in results]
+        assert speedups[0] == pytest.approx(1.0, abs=0.05)
+        assert speedups == sorted(speedups)
+        for t, r in zip((1, 2, 4), results):
+            assert r["speedup"] <= t + 0.5
+
+    def test_reports_phases(self):
+        g = load_dataset("youtube", scale=0.2)
+        r = simulate_parallel_speedup(g, 2)
+        assert set(r) >= {
+            "threads", "serial_seconds", "parallel_seconds", "speedup"
+        }
+        assert r["parallel_seconds"] > 0

@@ -1,0 +1,107 @@
+"""Tests for the vertex-diversity extension and the CN/BT baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    all_vertex_structural_diversities,
+    topk_common_neighbors,
+    topk_edge_betweenness,
+    topk_vertex_online,
+    vertex_structural_diversity,
+)
+from repro.graph import Graph, gnm_random
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=45,
+)
+
+
+class TestVertexDiversity:
+    def test_star_center(self):
+        g = Graph([(0, i) for i in range(1, 6)])
+        # N(0) = 5 isolated vertices.
+        assert vertex_structural_diversity(g, 0, 1) == 5
+        assert vertex_structural_diversity(g, 0, 2) == 0
+        assert vertex_structural_diversity(g, 1, 1) == 1
+
+    def test_triangle_vertex(self, triangle):
+        assert vertex_structural_diversity(triangle, 0, 1) == 1
+
+    def test_tau_validation(self, triangle):
+        with pytest.raises(ValueError):
+            vertex_structural_diversity(triangle, 0, 0)
+
+    def test_all_vertices_covered(self, fig1):
+        scores = all_vertex_structural_diversities(fig1, 2)
+        assert set(scores) == set(fig1.vertices())
+
+    def test_online_matches_exact(self, fig1):
+        for tau in (1, 2, 3):
+            online = topk_vertex_online(fig1, 5, tau)
+            exact = sorted(
+                all_vertex_structural_diversities(fig1, tau).items(),
+                key=lambda item: (-item[1], item[0]),
+            )[:5]
+            assert [s for _, s in online] == [s for _, s in exact]
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists, st.integers(1, 6), st.integers(1, 3))
+    def test_online_matches_exact_property(self, edges, k, tau):
+        g = Graph(edges)
+        online = topk_vertex_online(g, k, tau)
+        exact = sorted(
+            all_vertex_structural_diversities(g, tau).items(),
+            key=lambda item: (-item[1], item[0]),
+        )[:k]
+        assert online == exact
+
+    def test_parameter_validation(self, triangle):
+        with pytest.raises(ValueError):
+            topk_vertex_online(triangle, 0, 1)
+        with pytest.raises(ValueError):
+            topk_vertex_online(triangle, 1, 0)
+
+
+class TestCommonNeighborBaseline:
+    def test_ranks_by_common_neighbors(self, k5):
+        top = topk_common_neighbors(k5, 1)
+        assert top[0][1] == 3  # every K5 edge has 3 common neighbors
+
+    def test_k_validation(self, triangle):
+        with pytest.raises(ValueError):
+            topk_common_neighbors(triangle, 0)
+
+    def test_descending(self):
+        g = gnm_random(30, 90, seed=5)
+        top = topk_common_neighbors(g, 10)
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_cn_differs_from_esd(self, fig1):
+        """The Exp-7 contrast: CN's top edge is inside the 6-clique (4
+        common neighbors, one component); ESD's top edges have 2
+        components."""
+        cn_top = topk_common_neighbors(fig1, 1)[0][0]
+        assert set(cn_top) <= {"j", "k", "u", "v", "p", "q", "w"}
+
+
+class TestBetweennessBaseline:
+    def test_descending(self, fig1):
+        top = topk_edge_betweenness(fig1, 10)
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_bridge_wins(self):
+        """In a barbell, the bridge edge has maximal betweenness."""
+        left = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        right = [(a, b) for a in range(4, 8) for b in range(a + 1, 8)]
+        g = Graph(left + right + [(0, 4)])
+        assert topk_edge_betweenness(g, 1)[0][0] == (0, 4)
+
+    def test_k_validation(self, triangle):
+        with pytest.raises(ValueError):
+            topk_edge_betweenness(triangle, 0)

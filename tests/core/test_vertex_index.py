@@ -1,0 +1,83 @@
+"""Tests for the vertex structural diversity index (extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    VertexESDIndex,
+    all_vertex_structural_diversities,
+    build_vertex_index,
+    topk_vertex_online,
+)
+from repro.graph import Graph, gnm_random
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=45,
+)
+
+
+class TestBuild:
+    def test_star(self):
+        g = Graph([(0, i) for i in range(1, 5)])
+        index = build_vertex_index(g)
+        # Center: 4 singleton components; leaves: 1 singleton each.
+        assert index.component_sizes(0) == [1, 1, 1, 1]
+        assert index.topk(1, 1) == [(0, 4)]
+        index.check_invariants(g)
+
+    def test_triangle(self, triangle):
+        index = build_vertex_index(triangle)
+        for v in range(3):
+            assert index.component_sizes(v) == [2]
+        index.check_invariants(triangle)
+
+    def test_fig1(self, fig1):
+        index = build_vertex_index(fig1)
+        index.check_invariants(fig1)
+
+    def test_empty_graph(self):
+        index = build_vertex_index(Graph())
+        assert index.topk(3, 1) == []
+
+
+class TestQueries:
+    def test_matches_online_search(self, fig1):
+        index = build_vertex_index(fig1)
+        for tau in (1, 2, 3):
+            got = index.topk(5, tau)
+            online = [
+                (v, s) for v, s in topk_vertex_online(fig1, 5, tau) if s > 0
+            ]
+            assert got == online
+
+    def test_score_accessor(self, fig1):
+        index = build_vertex_index(fig1)
+        scores = all_vertex_structural_diversities(fig1, 2)
+        for v in fig1.vertices():
+            assert index.score(v, 2) == scores[v]
+        with pytest.raises(ValueError):
+            index.score("a", 0)
+
+    def test_set_and_remove_vertex(self):
+        index = VertexESDIndex()
+        index.set_vertex("a", [3, 1])
+        assert index.score("a", 2) == 1
+        index.remove_vertex("a")
+        assert index.score("a", 1) == 0
+        index.remove_vertex("a")  # no-op
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists, st.integers(1, 4), st.integers(1, 8))
+    def test_property_matches_exact(self, edges, tau, k):
+        g = Graph(edges)
+        index = build_vertex_index(g)
+        exact = sorted(
+            all_vertex_structural_diversities(g, tau).items(),
+            key=lambda item: (-item[1], item[0]),
+        )
+        exact = [(v, s) for v, s in exact if s > 0][:k]
+        assert index.topk(k, tau) == exact
+        index.check_invariants(g)

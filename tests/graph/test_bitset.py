@@ -1,0 +1,92 @@
+"""Tests for the bitset-packed adjacency fast path."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_index_bitset, build_index_fast
+from repro.core.diversity import ego_component_sizes
+from repro.graph import BitsetAdjacency, Graph, erdos_renyi
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestBitsetAdjacency:
+    def test_indexing_round_trip(self, fig1):
+        bits = BitsetAdjacency(fig1)
+        for u in fig1.vertices():
+            assert bits.vertex_at(bits.index_of(u)) == u
+        with pytest.raises(KeyError):
+            bits.index_of("nope")
+
+    def test_common_neighbors_match(self, fig1):
+        bits = BitsetAdjacency(fig1)
+        for u, v in fig1.edges():
+            expected = fig1.common_neighbors(u, v)
+            assert set(bits.common_neighbors(u, v)) == expected
+            assert bits.common_neighbor_count(u, v) == len(expected)
+
+    def test_adjacency_bits_symmetric(self, fig1):
+        bits = BitsetAdjacency(fig1)
+        for u, v in fig1.edges():
+            assert bits.adjacency_bits(u) >> bits.index_of(v) & 1
+            assert bits.adjacency_bits(v) >> bits.index_of(u) & 1
+
+    def test_ego_component_sizes_fig1(self, fig1):
+        bits = BitsetAdjacency(fig1)
+        for u, v in fig1.edges():
+            assert sorted(bits.ego_component_sizes(u, v)) == sorted(
+                ego_component_sizes(fig1, u, v)
+            )
+
+    def test_empty_graph(self):
+        bits = BitsetAdjacency(Graph())
+        assert bits.n == 0
+
+    def test_snapshot_semantics(self):
+        g = Graph([(0, 1)])
+        bits = BitsetAdjacency(g)
+        g.add_edge(1, 2)
+        assert bits.n == 2  # unchanged view
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists)
+    def test_matches_set_based_computation(self, edges):
+        g = Graph(edges)
+        bits = BitsetAdjacency(g)
+        for u, v in g.edges():
+            assert sorted(bits.ego_component_sizes(u, v)) == sorted(
+                ego_component_sizes(g, u, v)
+            )
+            assert set(bits.common_neighbors(u, v)) == g.common_neighbors(u, v)
+
+
+class TestBitsetBuilder:
+    def test_identical_to_fast_builder(self, fig1):
+        a = build_index_fast(fig1)
+        b = build_index_bitset(fig1)
+        assert a.size_classes == b.size_classes
+        for c in a.size_classes:
+            assert a.class_list(c) == b.class_list(c)
+
+    def test_random_graph(self):
+        g = erdos_renyi(50, 0.15, seed=11)
+        a = build_index_fast(g)
+        b = build_index_bitset(g)
+        for tau in (1, 2, 3):
+            assert a.topk(20, tau) == b.topk(20, tau)
+        b.check_invariants(g)
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists)
+    def test_property_identical_indexes(self, edges):
+        g = Graph(edges)
+        a = build_index_fast(g)
+        b = build_index_bitset(g)
+        assert a.size_classes == b.size_classes
+        for c in a.size_classes:
+            assert a.class_list(c) == b.class_list(c)

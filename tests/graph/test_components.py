@@ -1,0 +1,98 @@
+"""Tests for connected-component routines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    components_of_subset,
+    connected_components,
+    count_components_at_least,
+    is_connected,
+    largest_component,
+)
+
+
+class TestConnectedComponents:
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+        assert is_connected(Graph())
+
+    def test_single_component(self, triangle):
+        comps = connected_components(triangle)
+        assert len(comps) == 1
+        assert comps[0] == {0, 1, 2}
+        assert is_connected(triangle)
+
+    def test_two_components(self):
+        g = Graph([(0, 1), (2, 3)])
+        comps = sorted(connected_components(g), key=min)
+        assert comps == [{0, 1}, {2, 3}]
+        assert not is_connected(g)
+
+    def test_isolated_vertices(self):
+        g = Graph()
+        g.add_vertex(1)
+        g.add_vertex(2)
+        comps = connected_components(g)
+        assert sorted(map(len, comps)) == [1, 1]
+
+    def test_largest_component(self):
+        g = Graph([(0, 1), (1, 2), (5, 6)])
+        assert largest_component(g) == {0, 1, 2}
+        assert largest_component(Graph()) == set()
+
+
+class TestComponentsOfSubset:
+    def test_subset_splits_component(self):
+        # Path 0-1-2: dropping 1 disconnects 0 and 2.
+        g = Graph([(0, 1), (1, 2)])
+        comps = components_of_subset(g, [0, 2])
+        assert sorted(map(len, comps)) == [1, 1]
+
+    def test_fig1_ego_network_of_fg(self, fig1):
+        """Example 1: N(fg) = {d, e, h, i}, components {d,e} and {h,i}."""
+        subset = fig1.common_neighbors("f", "g")
+        assert subset == {"d", "e", "h", "i"}
+        comps = sorted(components_of_subset(fig1, subset), key=min)
+        assert comps == [{"d", "e"}, {"h", "i"}]
+
+    def test_counts_with_threshold(self, fig1):
+        """Example 2: score(f,g) = 2 for tau in {1,2}, 0 for tau = 3."""
+        subset = fig1.common_neighbors("f", "g")
+        assert count_components_at_least(fig1, subset, 1) == 2
+        assert count_components_at_least(fig1, subset, 2) == 2
+        assert count_components_at_least(fig1, subset, 3) == 0
+
+    def test_bad_tau_raises(self, fig1):
+        with pytest.raises(ValueError):
+            count_components_at_least(fig1, [], 0)
+
+    def test_empty_subset(self, triangle):
+        assert components_of_subset(triangle, []) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=40,
+        ),
+        st.sets(st.integers(0, 12), max_size=13),
+    )
+    def test_components_partition_subset(self, edges, subset):
+        g = Graph(edges)
+        for v in subset:
+            g.add_vertex(v)
+        comps = components_of_subset(g, subset)
+        union = set().union(*comps) if comps else set()
+        assert union == subset
+        assert sum(map(len, comps)) == len(subset)
+        # No edges between different components.
+        for i, a in enumerate(comps):
+            for b in comps[i + 1:]:
+                for u in a:
+                    for v in b:
+                        assert not g.has_edge(u, v)

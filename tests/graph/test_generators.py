@@ -1,0 +1,194 @@
+"""Tests for random graph generators and dataset stand-ins."""
+
+import pytest
+
+from repro.graph import (
+    DATASET_NAMES,
+    barabasi_albert,
+    chung_lu_power_law,
+    collaboration_network,
+    connected_components,
+    erdos_renyi,
+    gnm_random,
+    load_dataset,
+    planted_diversity_graph,
+    planted_partition,
+    watts_strogatz,
+    word_association_network,
+)
+from repro.graph.datasets import db_subgraph, tiny_random, word_association
+
+
+class TestErdosRenyi:
+    def test_p_zero_is_empty(self):
+        g = erdos_renyi(20, 0.0, seed=1)
+        assert g.n == 20
+        assert g.m == 0
+
+    def test_p_one_is_complete(self):
+        g = erdos_renyi(10, 1.0, seed=1)
+        assert g.m == 45
+
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.05
+        g = erdos_renyi(n, p, seed=7)
+        expected = p * n * (n - 1) / 2
+        assert 0.7 * expected < g.m < 1.3 * expected
+
+    def test_deterministic(self):
+        assert erdos_renyi(30, 0.2, seed=5) == erdos_renyi(30, 0.2, seed=5)
+
+    def test_seed_changes_graph(self):
+        assert erdos_renyi(30, 0.2, seed=5) != erdos_renyi(30, 0.2, seed=6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 0.5)
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_random(50, 100, seed=2)
+        assert g.n == 50
+        assert g.m == 100
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            gnm_random(4, 7)  # max is 6
+
+    def test_zero_edges(self):
+        assert gnm_random(5, 0).m == 0
+
+
+class TestBarabasiAlbert:
+    def test_size(self):
+        g = barabasi_albert(100, attach=3, seed=3)
+        assert g.n == 100
+        # seed clique C(4,2)=6 edges + 96 * 3
+        assert g.m == 6 + 96 * 3
+
+    def test_hubs_emerge(self):
+        g = barabasi_albert(300, attach=2, seed=4)
+        degrees = g.degree_sequence()
+        assert degrees[0] > 5 * degrees[len(degrees) // 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, attach=5)
+
+
+class TestChungLu:
+    def test_shape(self):
+        g = chung_lu_power_law(400, exponent=2.3, average_degree=6.0, seed=5)
+        assert g.n == 400
+        assert 0.5 * 1200 < g.m <= 1200
+
+    def test_heavy_tail(self):
+        g = chung_lu_power_law(500, exponent=2.1, average_degree=5.0, seed=6)
+        degrees = g.degree_sequence()
+        assert degrees[0] >= 4 * (2.0 * g.m / g.n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chung_lu_power_law(10, exponent=1.0)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=1)
+        assert g.m == 40
+        assert all(g.degree(u) == 4 for u in g.vertices())
+
+    def test_rewire_preserves_edge_count(self):
+        g = watts_strogatz(40, 4, 0.5, seed=2)
+        assert g.m == 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+
+
+class TestPlantedPartition:
+    def test_blocks_denser_than_cross(self):
+        g = planted_partition(4, 20, p_in=0.5, p_out=0.01, seed=3)
+        internal = cross = 0
+        for u, v in g.edges():
+            if u // 20 == v // 20:
+                internal += 1
+            else:
+                cross += 1
+        assert internal > 5 * cross
+
+    def test_size(self):
+        g = planted_partition(3, 10, 0.3, 0.01, seed=1)
+        assert g.n == 30
+
+
+class TestCaseStudyGenerators:
+    def test_collaboration_has_bridge_pairs(self):
+        g = collaboration_network(
+            communities=6, community_size=12, papers_per_community=10,
+            bridge_pairs=2, contexts_per_bridge=4, context_size=3, seed=1,
+        )
+        n_regular = 6 * 12
+        # The first bridge pair is (n_regular, n_regular + 1).
+        u, v = n_regular, n_regular + 1
+        assert g.has_edge(u, v)
+        common = g.common_neighbors(u, v)
+        assert len(common) == 4 * 3  # contexts * context_size
+        comps = connected_components(g.induced_subgraph(common))
+        assert len(comps) == 4  # one component per planted context
+
+    def test_word_association_contains_hub_pairs(self):
+        g = word_association_network(seed=2)
+        assert g.has_edge("bank", "money")
+        assert g.has_edge("wood", "house")
+        # The bank/money ego-network has >= 6 context components of size >= 2
+        common = g.common_neighbors("bank", "money")
+        comps = connected_components(g.induced_subgraph(common))
+        big = [c for c in comps if len(c) >= 2]
+        assert len(big) == 6
+
+    def test_planted_diversity_graph_ranking(self):
+        g = planted_diversity_graph(
+            hub_pairs=3, components_per_pair=4, component_size=3,
+            noise_edges=50, noise_vertices=40, seed=4,
+        )
+        # Pair i = (2i, 2i+1) has max(4 - i, 1) planted size-3 components.
+        for i, expected in enumerate([4, 3, 2]):
+            common = g.common_neighbors(2 * i, 2 * i + 1)
+            comps = connected_components(g.induced_subgraph(common))
+            assert len(comps) == expected
+            assert all(len(c) == 3 for c in comps)
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_loads_and_nonempty(self, name):
+        g = load_dataset(name, scale=0.2)
+        assert g.n > 20
+        assert g.m > 20
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("facebook")
+
+    def test_relative_sizes_preserved(self):
+        # Table I ordering: youtube < ... < livejournal by edge count.
+        sizes = [load_dataset(name).m for name in DATASET_NAMES]
+        assert sizes == sorted(sizes)
+
+    def test_db_subgraph_and_word_association(self):
+        assert db_subgraph().m > 100
+        assert word_association().has_edge("bank", "money")
+
+    def test_tiny_random(self):
+        g = tiny_random()
+        assert (g.n, g.m) == (60, 180)
+
+    def test_deterministic(self):
+        assert load_dataset("youtube", scale=0.2) == load_dataset(
+            "youtube", scale=0.2
+        )

@@ -1,0 +1,179 @@
+"""Tests for the core Graph class."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, canonical_edge
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 20)).filter(lambda e: e[0] != e[1]),
+    max_size=60,
+)
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            canonical_edge(3, 3)
+
+
+class TestGraphBasics:
+    def test_empty(self):
+        g = Graph()
+        assert g.n == 0
+        assert g.m == 0
+        assert list(g.edges()) == []
+        assert g.max_degree() == 0
+
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        assert g.add_edge(1, 2)
+        assert g.n == 2
+        assert g.m == 1
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+
+    def test_add_duplicate_edge(self):
+        g = Graph()
+        assert g.add_edge(1, 2)
+        assert not g.add_edge(2, 1)
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex(1)
+        g.add_edge(1, 2)
+        g.add_vertex(1)
+        assert g.degree(1) == 1
+
+    def test_remove_edge(self):
+        g = Graph([(1, 2), (2, 3)])
+        g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert g.m == 1
+        assert g.n == 3  # vertices stay
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 3)
+        with pytest.raises(KeyError):
+            g.remove_edge(7, 8)
+
+    def test_remove_vertex(self):
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        g.remove_vertex(1)
+        assert g.n == 2
+        assert g.m == 1
+        assert not g.has_edge(1, 2)
+        with pytest.raises(KeyError):
+            g.remove_vertex(1)
+
+    def test_degree_and_neighbors(self):
+        g = Graph([(1, 2), (1, 3)])
+        assert g.degree(1) == 2
+        assert g.neighbors(1) == {2, 3}
+        assert g.neighbors(2) == {1}
+
+    def test_edges_canonical_and_unique(self):
+        g = Graph([(3, 1), (2, 1), (3, 2)])
+        assert sorted(g.edges()) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_common_neighbors(self):
+        g = Graph([(1, 2), (1, 3), (2, 3), (1, 4), (2, 4), (2, 5)])
+        assert g.common_neighbors(1, 2) == {3, 4}
+        assert g.common_neighbors(3, 4) == {1, 2}
+        assert g.common_neighbors(4, 5) == {2}
+
+    def test_copy_independent(self):
+        g = Graph([(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert g.m == 1
+        assert h.m == 2
+        assert g == Graph([(1, 2)])
+
+    def test_equality(self):
+        assert Graph([(1, 2), (2, 3)]) == Graph([(3, 2), (2, 1)])
+        assert Graph([(1, 2)]) != Graph([(1, 3)])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph())
+
+    def test_induced_subgraph(self):
+        g = Graph([(1, 2), (2, 3), (3, 4), (1, 3)])
+        sub = g.induced_subgraph([1, 2, 3])
+        assert sorted(sub.edges()) == [(1, 2), (1, 3), (2, 3)]
+        assert sub.n == 3
+
+    def test_induced_subgraph_keeps_isolated(self):
+        g = Graph([(1, 2)])
+        g.add_vertex(9)
+        sub = g.induced_subgraph([1, 9])
+        assert sub.n == 2
+        assert sub.m == 0
+
+    def test_induced_subgraph_ignores_foreign_vertices(self):
+        g = Graph([(1, 2)])
+        sub = g.induced_subgraph([1, 99])
+        assert sub.n == 1
+
+    def test_degree_sequence(self):
+        g = Graph([(1, 2), (1, 3), (1, 4)])
+        assert g.degree_sequence() == [3, 1, 1, 1]
+
+    def test_fig1_shape(self, fig1):
+        assert fig1.n == 16
+        assert fig1.m == 40
+        # Degrees used in the paper's §II example: d(e) = d(f) = 5.
+        assert fig1.degree("e") == fig1.degree("f") == 5
+
+
+class TestGraphProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(edge_lists)
+    def test_handshake_lemma(self, edges):
+        g = Graph(edges)
+        assert sum(g.degree(u) for u in g.vertices()) == 2 * g.m
+
+    @settings(max_examples=60, deadline=None)
+    @given(edge_lists)
+    def test_edges_match_has_edge(self, edges):
+        g = Graph(edges)
+        listed = set(g.edges())
+        assert len(listed) == g.m
+        for u, v in listed:
+            assert u < v
+            assert g.has_edge(u, v)
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists)
+    def test_remove_all_edges_empties(self, edges):
+        g = Graph(edges)
+        for u, v in g.edge_list():
+            g.remove_edge(u, v)
+        assert g.m == 0
+        assert all(g.degree(u) == 0 for u in g.vertices())
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists)
+    def test_common_neighbors_is_intersection(self, edges):
+        g = Graph(edges)
+        for u, v in g.edge_list()[:10]:
+            expected = {
+                w for w in g.vertices() if g.has_edge(u, w) and g.has_edge(v, w)
+            }
+            assert g.common_neighbors(u, v) == expected

@@ -1,0 +1,92 @@
+"""Tests for edge-list I/O."""
+
+import io
+
+import pytest
+
+from repro.graph import (
+    EdgeListFormatError,
+    Graph,
+    parse_edge_list,
+    read_edge_list,
+    relabel_to_integers,
+    write_edge_list,
+)
+
+
+class TestReadEdgeList:
+    def test_basic(self):
+        g = parse_edge_list("1 2\n2 3\n")
+        assert sorted(g.edges()) == [(1, 2), (2, 3)]
+
+    def test_comments_and_blanks_skipped(self):
+        g = parse_edge_list("# header\n\n1 2\n# mid\n3 4\n")
+        assert g.m == 2
+
+    def test_tabs_and_extra_columns(self):
+        g = parse_edge_list("1\t2\tweight\n3   4\n")
+        assert g.m == 2
+
+    def test_duplicates_and_reverses_collapse(self):
+        g = parse_edge_list("1 2\n2 1\n1 2\n")
+        assert g.m == 1
+
+    def test_self_loops_dropped(self):
+        g = parse_edge_list("1 1\n1 2\n")
+        assert g.m == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(EdgeListFormatError):
+            parse_edge_list("1\n")
+
+    def test_non_integer_raises(self):
+        with pytest.raises(EdgeListFormatError):
+            parse_edge_list("a b\n")
+
+    def test_string_vertices(self):
+        g = parse_edge_list("cat dog\ndog fox\n", as_int=False)
+        assert g.has_edge("cat", "dog")
+        assert g.n == 3
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, fig1, tmp_path):
+        # fig1 has string vertices; use a relabeled copy for int round trip.
+        g, _ = relabel_to_integers(fig1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="fig1 relabeled")
+        back = read_edge_list(path)
+        assert back == g
+
+    def test_write_to_stream_includes_header(self):
+        g = Graph([(1, 2)])
+        buf = io.StringIO()
+        write_edge_list(g, buf, header="hello\nworld")
+        text = buf.getvalue()
+        assert "# hello" in text
+        assert "# world" in text
+        assert "# n=2 m=1" in text
+        assert "1\t2" in text
+
+
+class TestRelabel:
+    def test_dense_ids(self):
+        g = Graph([(10, 20), (20, 99)])
+        relabeled, mapping = relabel_to_integers(g)
+        assert sorted(relabeled.vertices()) == [0, 1, 2]
+        assert mapping == {10: 0, 20: 1, 99: 2}
+        assert relabeled.has_edge(0, 1)
+        assert relabeled.has_edge(1, 2)
+
+    def test_preserves_structure(self, fig1):
+        relabeled, mapping = relabel_to_integers(fig1)
+        assert relabeled.n == fig1.n
+        assert relabeled.m == fig1.m
+        for u, v in fig1.edges():
+            assert relabeled.has_edge(mapping[u], mapping[v])
+
+    def test_isolated_vertices_kept(self):
+        g = Graph([(1, 2)])
+        g.add_vertex(5)
+        relabeled, _ = relabel_to_integers(g)
+        assert relabeled.n == 3

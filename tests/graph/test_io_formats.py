@@ -1,0 +1,94 @@
+"""Tests for the adjacency-list and METIS I/O formats."""
+
+import io
+
+import pytest
+
+from repro.graph import (
+    EdgeListFormatError,
+    Graph,
+    read_adjacency_list,
+    read_metis,
+    write_adjacency_list,
+    write_metis,
+)
+
+
+class TestAdjacencyList:
+    def test_basic(self):
+        g = read_adjacency_list(io.StringIO("0 1 2\n1 0\n2 0\n"))
+        assert sorted(g.edges()) == [(0, 1), (0, 2)]
+
+    def test_isolated_vertex(self):
+        g = read_adjacency_list(io.StringIO("5\n0 1\n"))
+        assert 5 in g
+        assert g.degree(5) == 0
+
+    def test_self_reference_skipped(self):
+        g = read_adjacency_list(io.StringIO("1 1 2\n"))
+        assert g.m == 1
+
+    def test_comments(self):
+        g = read_adjacency_list(io.StringIO("# hi\n0 1\n"))
+        assert g.m == 1
+
+    def test_string_mode(self):
+        g = read_adjacency_list(io.StringIO("cat dog\n"), as_int=False)
+        assert g.has_edge("cat", "dog")
+
+    def test_non_integer_raises(self):
+        with pytest.raises(EdgeListFormatError):
+            read_adjacency_list(io.StringIO("a b\n"))
+
+    def test_round_trip(self, fig1, tmp_path):
+        path = tmp_path / "adj.txt"
+        write_adjacency_list(fig1, path)
+        back = read_adjacency_list(path, as_int=False)
+        assert back == fig1
+
+    def test_round_trip_with_isolated(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(7)
+        buf = io.StringIO()
+        write_adjacency_list(g, buf)
+        back = read_adjacency_list(io.StringIO(buf.getvalue()))
+        assert back == g
+
+
+class TestMetis:
+    def test_basic(self):
+        text = "3 2\n2\n1 3\n2\n"  # path 0-1-2 in 1-based METIS
+        g = read_metis(io.StringIO(text))
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_percent_comments(self):
+        g = read_metis(io.StringIO("% comment\n2 1\n2\n1\n"))
+        assert g.m == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(EdgeListFormatError):
+            read_metis(io.StringIO(""))
+
+    def test_bad_header(self):
+        with pytest.raises(EdgeListFormatError):
+            read_metis(io.StringIO("3\n"))
+
+    def test_vertex_count_mismatch(self):
+        with pytest.raises(EdgeListFormatError):
+            read_metis(io.StringIO("3 1\n2\n1\n"))
+
+    def test_edge_count_mismatch(self):
+        with pytest.raises(EdgeListFormatError):
+            read_metis(io.StringIO("2 5\n2\n1\n"))
+
+    def test_out_of_range_vertex(self):
+        with pytest.raises(EdgeListFormatError):
+            read_metis(io.StringIO("2 1\n5\n1\n"))
+
+    def test_round_trip(self, fig1, tmp_path):
+        path = tmp_path / "g.metis"
+        write_metis(fig1, path)
+        back = read_metis(path)
+        assert back.n == fig1.n
+        assert back.m == fig1.m
+        assert back.degree_sequence() == fig1.degree_sequence()

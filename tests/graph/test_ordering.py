@@ -1,0 +1,126 @@
+"""Tests for degree ordering, DAG orientation and degeneracy ordering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    OrientedGraph,
+    degeneracy_ordering,
+    erdos_renyi,
+    precedes,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestDegreeOrdering:
+    def test_lower_degree_precedes(self):
+        g = Graph([(1, 2), (1, 3)])  # d(1)=2, d(2)=d(3)=1
+        assert precedes(g, 2, 1)
+        assert not precedes(g, 1, 2)
+
+    def test_tie_broken_by_id(self):
+        g = Graph([(1, 2), (3, 4)])  # all degree 1
+        assert precedes(g, 1, 2)
+        assert precedes(g, 2, 3)
+
+    def test_paper_example_e_precedes_f(self, fig1):
+        """§II: e ≺ f because d(e) = d(f) and e has the smaller id."""
+        assert fig1.degree("e") == fig1.degree("f")
+        assert precedes(fig1, "e", "f")
+
+    def test_total_order(self, fig1):
+        vs = list(fig1.vertices())
+        for u in vs:
+            for v in vs:
+                if u != v:
+                    assert precedes(fig1, u, v) != precedes(fig1, v, u)
+
+
+class TestOrientedGraph:
+    def test_every_edge_oriented_once(self, fig1):
+        dag = OrientedGraph(fig1)
+        directed = dag.directed_edges()
+        assert len(directed) == fig1.m
+        undirected = {tuple(sorted(e)) for e in directed}
+        assert undirected == set(fig1.edges())
+
+    def test_orientation_follows_order(self, fig1):
+        dag = OrientedGraph(fig1)
+        for u, v in dag.directed_edges():
+            assert precedes(fig1, u, v)
+
+    def test_acyclic(self):
+        g = erdos_renyi(30, 0.2, seed=3)
+        dag = OrientedGraph(g)
+        # Kahn's algorithm: a DAG fully drains.
+        indeg = {u: 0 for u in dag.vertices()}
+        for _, v in dag.directed_edges():
+            indeg[v] += 1
+        frontier = [u for u, d in indeg.items() if d == 0]
+        drained = 0
+        while frontier:
+            u = frontier.pop()
+            drained += 1
+            for v in dag.out_neighbors(u):
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    frontier.append(v)
+        assert drained == g.n
+
+    def test_out_degree_bounded_by_degeneracy_plus_ties(self):
+        """Out-degrees under the degree ordering stay small on sparse graphs."""
+        g = erdos_renyi(60, 0.08, seed=5)
+        dag = OrientedGraph(g)
+        assert dag.max_out_degree() <= g.max_degree()
+        assert sum(dag.out_degree(u) for u in dag.vertices()) == g.m
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists)
+    def test_orientation_is_partition(self, edges):
+        g = Graph(edges)
+        dag = OrientedGraph(g)
+        assert sorted(tuple(sorted(e)) for e in dag.directed_edges()) == sorted(
+            g.edges()
+        )
+
+
+class TestDegeneracyOrdering:
+    def test_empty(self):
+        order, delta = degeneracy_ordering(Graph())
+        assert order == []
+        assert delta == 0
+
+    def test_tree_degeneracy_one(self):
+        g = Graph([(0, 1), (1, 2), (1, 3), (3, 4)])
+        _, delta = degeneracy_ordering(g)
+        assert delta == 1
+
+    def test_clique_degeneracy(self, k5):
+        _, delta = degeneracy_ordering(k5)
+        assert delta == 4
+
+    def test_cycle_degeneracy_two(self):
+        g = Graph([(i, (i + 1) % 6) for i in range(6)])
+        _, delta = degeneracy_ordering(g)
+        assert delta == 2
+
+    def test_order_is_permutation(self, fig1):
+        order, _ = degeneracy_ordering(fig1)
+        assert sorted(order) == sorted(fig1.vertices())
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists)
+    def test_each_vertex_has_few_later_neighbors(self, edges):
+        """Defining property: every vertex has <= δ neighbors later in order."""
+        g = Graph(edges)
+        order, delta = degeneracy_ordering(g)
+        position = {u: i for i, u in enumerate(order)}
+        for u in g.vertices():
+            later = sum(1 for v in g.neighbors(u) if position[v] > position[u])
+            assert later <= delta

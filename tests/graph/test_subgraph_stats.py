@@ -1,0 +1,110 @@
+"""Tests for subgraph sampling, ego-network helpers and graph statistics."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    closed_ego_network,
+    ego_network,
+    ego_network_vertices,
+    erdos_renyi,
+    global_clustering_coefficient,
+    graph_stats,
+    random_edge_subgraph,
+    random_vertex_subgraph,
+    scalability_fractions,
+)
+
+
+class TestSampling:
+    def test_edge_fraction_counts(self):
+        g = erdos_renyi(60, 0.1, seed=1)
+        half = random_edge_subgraph(g, 0.5, seed=2)
+        assert half.m == round(0.5 * g.m)
+        full = random_edge_subgraph(g, 1.0, seed=2)
+        assert full.m == g.m
+
+    def test_edge_sample_is_subset(self):
+        g = erdos_renyi(40, 0.15, seed=3)
+        sub = random_edge_subgraph(g, 0.4, seed=4)
+        for u, v in sub.edges():
+            assert g.has_edge(u, v)
+
+    def test_vertex_fraction_counts(self):
+        g = erdos_renyi(50, 0.1, seed=5)
+        sub = random_vertex_subgraph(g, 0.6, seed=6)
+        assert sub.n == round(0.6 * g.n)
+
+    def test_vertex_sample_induced(self):
+        g = erdos_renyi(30, 0.3, seed=7)
+        sub = random_vertex_subgraph(g, 0.5, seed=8)
+        for u in sub.vertices():
+            for v in sub.vertices():
+                if u < v:
+                    assert sub.has_edge(u, v) == g.has_edge(u, v)
+
+    def test_fraction_validation(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(ValueError):
+            random_edge_subgraph(g, 1.5)
+        with pytest.raises(ValueError):
+            random_vertex_subgraph(g, -0.1)
+
+    def test_deterministic(self):
+        g = erdos_renyi(40, 0.2, seed=9)
+        assert random_edge_subgraph(g, 0.5, seed=1) == random_edge_subgraph(
+            g, 0.5, seed=1
+        )
+
+    def test_scalability_fractions(self):
+        assert scalability_fractions() == [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+class TestEgoNetworks:
+    def test_fig1_fg(self, fig1):
+        """Example 1: ego-network of (f, g)."""
+        assert ego_network_vertices(fig1, "f", "g") == {"d", "e", "h", "i"}
+        ego = ego_network(fig1, "f", "g")
+        assert sorted(ego.edges()) == [("d", "e"), ("h", "i")]
+
+    def test_closed_ego_includes_endpoints(self, fig1):
+        closed = closed_ego_network(fig1, "f", "g")
+        assert "f" in closed
+        assert "g" in closed
+        assert closed.has_edge("f", "g")
+        assert closed.has_edge("f", "d")
+
+    def test_empty_ego(self):
+        g = Graph([(1, 2)])
+        assert ego_network(g, 1, 2).n == 0
+
+
+class TestStats:
+    def test_empty(self):
+        s = graph_stats(Graph())
+        assert s.n == s.m == s.d_max == s.degeneracy == 0
+
+    def test_fig1_stats(self, fig1):
+        s = graph_stats(fig1)
+        assert s.n == 16
+        assert s.m == 40
+        assert s.d_max == fig1.max_degree()
+        # {j,k,u,v,p,q} is a 6-clique, so the degeneracy is exactly 5.
+        assert s.degeneracy == 5
+        assert s.arboricity_lower <= s.arboricity_upper
+        assert s.components == 1
+        assert s.as_row() == (16, 40, s.d_max, 5)
+
+    def test_clique_stats(self, k5):
+        s = graph_stats(k5)
+        assert s.degeneracy == 4
+        assert s.average_degree == 4.0
+
+    def test_clustering_triangle(self, triangle):
+        assert global_clustering_coefficient(triangle) == 1.0
+
+    def test_clustering_path(self, path4):
+        assert global_clustering_coefficient(path4) == 0.0
+
+    def test_clustering_empty(self):
+        assert global_clustering_coefficient(Graph()) == 0.0

@@ -1,0 +1,237 @@
+"""Unit and property tests for the disjoint-set structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import DisjointSet, EdgeComponentSets
+
+
+class TestDisjointSet:
+    def test_empty(self):
+        dsu = DisjointSet()
+        assert len(dsu) == 0
+        assert dsu.set_count == 0
+        assert dsu.component_sizes() == []
+
+    def test_singletons(self):
+        dsu = DisjointSet(range(5))
+        assert len(dsu) == 5
+        assert dsu.set_count == 5
+        assert sorted(dsu.component_sizes()) == [1, 1, 1, 1, 1]
+
+    def test_find_unknown_raises(self):
+        dsu = DisjointSet()
+        with pytest.raises(KeyError):
+            dsu.find("missing")
+
+    def test_union_merges(self):
+        dsu = DisjointSet(range(4))
+        assert dsu.union(0, 1)
+        assert dsu.connected(0, 1)
+        assert not dsu.connected(0, 2)
+        assert dsu.set_count == 3
+        assert dsu.size_of(0) == 2
+        assert dsu.size_of(2) == 1
+
+    def test_union_idempotent(self):
+        dsu = DisjointSet(range(3))
+        assert dsu.union(0, 1)
+        assert not dsu.union(0, 1)
+        assert not dsu.union(1, 0)
+        assert dsu.set_count == 2
+
+    def test_union_adds_unknown_elements(self):
+        dsu = DisjointSet()
+        dsu.union("a", "b")
+        assert dsu.connected("a", "b")
+        assert len(dsu) == 2
+
+    def test_transitive_connectivity(self):
+        dsu = DisjointSet(range(5))
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        dsu.union(3, 4)
+        assert dsu.connected(0, 2)
+        assert not dsu.connected(2, 3)
+        assert sorted(dsu.component_sizes()) == [2, 3]
+
+    def test_groups_partition(self):
+        dsu = DisjointSet(range(6))
+        dsu.union(0, 1)
+        dsu.union(2, 3)
+        dsu.union(3, 4)
+        groups = dsu.groups()
+        members = sorted(x for group in groups.values() for x in group)
+        assert members == list(range(6))
+        assert sorted(len(g) for g in groups.values()) == [1, 2, 3]
+
+    def test_roots_are_self_parents(self):
+        dsu = DisjointSet(range(10))
+        for i in range(0, 10, 2):
+            dsu.union(i, i + 1)
+        assert len(dsu.roots()) == dsu.set_count == 5
+
+    def test_add_is_idempotent(self):
+        dsu = DisjointSet()
+        dsu.add(1)
+        dsu.union(1, 2)
+        dsu.add(1)  # must not reset the merged set
+        assert dsu.size_of(1) == 2
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)),
+            max_size=120,
+        )
+    )
+    def test_matches_naive_partition(self, unions):
+        """DSU connectivity must match a naive set-merging partition."""
+        dsu = DisjointSet()
+        naive = []  # list of sets
+
+        def naive_union(a, b):
+            sa = next((s for s in naive if a in s), None)
+            sb = next((s for s in naive if b in s), None)
+            if sa is None:
+                sa = {a}
+                naive.append(sa)
+            if sb is None:
+                if b in sa:
+                    return
+                sb = {b}
+                naive.append(sb)
+            if sa is not sb:
+                sa |= sb
+                naive.remove(sb)
+
+        for a, b in unions:
+            dsu.union(a, b)
+            naive_union(a, b)
+
+        assert dsu.set_count == len(naive)
+        assert sorted(dsu.component_sizes()) == sorted(len(s) for s in naive)
+        elements = [x for s in naive for x in s]
+        for x in elements:
+            for y in elements:
+                expected = any(x in s and y in s for s in naive)
+                assert dsu.connected(x, y) == expected
+
+
+class TestEdgeComponentSets:
+    def test_initial_singletons(self):
+        m = EdgeComponentSets([1, 2, 3])
+        assert m.component_count() == 3
+        assert m.score(tau=1) == 3
+        assert m.score(tau=2) == 0
+
+    def test_score_counts_large_components(self):
+        m = EdgeComponentSets(range(5))
+        m.union(0, 1)
+        m.union(2, 3)
+        m.union(3, 4)
+        # components: {0,1}, {2,3,4}
+        assert m.score(1) == 2
+        assert m.score(2) == 2
+        assert m.score(3) == 1
+        assert m.score(4) == 0
+
+    def test_score_rejects_bad_tau(self):
+        m = EdgeComponentSets([1])
+        with pytest.raises(ValueError):
+            m.score(0)
+
+    def test_size_histogram(self):
+        m = EdgeComponentSets(range(4))
+        m.union(0, 1)
+        assert m.size_histogram() == {1: 2, 2: 1}
+
+    def test_discard_singleton(self):
+        m = EdgeComponentSets([1, 2, 3])
+        m.union(1, 2)
+        assert not m.discard_singleton(1)  # size-2 component, refuse
+        assert m.discard_singleton(3)
+        assert 3 not in m
+        assert not m.discard_singleton(3)  # already gone
+        assert m.component_count() == 1
+
+    def test_component_of(self):
+        m = EdgeComponentSets(range(4))
+        m.union(0, 1)
+        m.union(1, 2)
+        assert sorted(m.component_of(0)) == [0, 1, 2]
+        assert m.component_of(3) == [3]
+
+    def test_replace_members(self):
+        m = EdgeComponentSets(range(3))
+        m.union(0, 1)
+        m.replace_members([5, 6, 7, 8], [(5, 6), (7, 8)])
+        assert sorted(m.members()) == [5, 6, 7, 8]
+        assert m.component_count() == 2
+
+    def test_rebuild_component_splits(self):
+        m = EdgeComponentSets(range(5))
+        for a, b in [(0, 1), (1, 2), (3, 4)]:
+            m.union(a, b)
+        # Rebuild {0,1,2}'s component keeping only edge (0, 1): splits off 2.
+        m.rebuild_component(0, [(0, 1)])
+        assert m.connected(0, 1)
+        assert not m.connected(0, 2)
+        assert m.connected(3, 4)
+        assert sorted(m.component_sizes()) == [1, 2, 2]
+
+    def test_rebuild_component_ignores_foreign_edges(self):
+        m = EdgeComponentSets(range(4))
+        m.union(0, 1)
+        # Edge (0, 3) is outside the rebuilt component and must be ignored.
+        m.rebuild_component(0, [(0, 1), (0, 3)])
+        assert m.connected(0, 1)
+        assert not m.connected(0, 3)
+
+    def test_rebuild_component_missing_anchor_is_noop(self):
+        m = EdgeComponentSets([1, 2])
+        m.union(1, 2)
+        m.rebuild_component(99, [])
+        assert m.connected(1, 2)
+
+    def test_copy_is_independent(self):
+        m = EdgeComponentSets(range(3))
+        m.union(0, 1)
+        clone = m.copy()
+        clone.union(1, 2)
+        assert m.component_count() == 2
+        assert clone.component_count() == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(3, 15),
+        st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40),
+        st.integers(1, 5),
+    )
+    def test_score_matches_bfs_on_random_partitions(self, n, edges, tau):
+        """score(tau) agrees with explicitly counting component sizes."""
+        m = EdgeComponentSets(range(n))
+        adj = {i: set() for i in range(n)}
+        for a, b in edges:
+            if a < n and b < n and a != b:
+                m.union(a, b)
+                adj[a].add(b)
+                adj[b].add(a)
+        # BFS components from scratch.
+        seen, sizes = set(), []
+        for start in range(n):
+            if start in seen:
+                continue
+            queue, comp = [start], set()
+            seen.add(start)
+            while queue:
+                x = queue.pop()
+                comp.add(x)
+                for y in adj[x]:
+                    if y not in seen:
+                        seen.add(y)
+                        queue.append(y)
+            sizes.append(len(comp))
+        assert sorted(m.component_sizes()) == sorted(sizes)
+        assert m.score(tau) == sum(1 for s in sizes if s >= tau)

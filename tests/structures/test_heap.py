@@ -1,0 +1,111 @@
+"""Tests for the lazy max-heap backing the dequeue-twice framework."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import LazyMaxHeap
+
+
+class TestLazyMaxHeap:
+    def test_empty_pop_raises(self):
+        heap = LazyMaxHeap()
+        with pytest.raises(IndexError):
+            heap.pop()
+
+    def test_empty_peek_raises(self):
+        with pytest.raises(IndexError):
+            LazyMaxHeap().peek()
+
+    def test_push_pop_max_order(self):
+        heap = LazyMaxHeap()
+        for item, prio in [("a", 3), ("b", 7), ("c", 5)]:
+            heap.push(item, prio)
+        assert heap.pop() == ("b", 7)
+        assert heap.pop() == ("c", 5)
+        assert heap.pop() == ("a", 3)
+
+    def test_len_and_contains(self):
+        heap = LazyMaxHeap()
+        heap.push("x", 1)
+        heap.push("y", 2)
+        assert len(heap) == 2
+        assert "x" in heap
+        heap.pop()
+        assert len(heap) == 1
+        assert "y" not in heap
+
+    def test_priority_update_supersedes(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 10)
+        heap.push("b", 5)
+        heap.push("a", 1)  # decrease
+        assert heap.pop() == ("b", 5)
+        assert heap.pop() == ("a", 1)
+
+    def test_priority_increase(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1)
+        heap.push("b", 5)
+        heap.push("a", 10)
+        assert heap.pop() == ("a", 10)
+
+    def test_priority_of(self):
+        heap = LazyMaxHeap()
+        assert heap.priority_of("a") is None
+        heap.push("a", 4)
+        assert heap.priority_of("a") == 4
+
+    def test_tie_break_is_deterministic(self):
+        heap = LazyMaxHeap()
+        heap.push((2, 3), 5)
+        heap.push((1, 2), 5)
+        heap.push((1, 9), 5)
+        assert heap.pop()[0] == (1, 2)
+        assert heap.pop()[0] == (1, 9)
+        assert heap.pop()[0] == (2, 3)
+
+    def test_peek_does_not_remove(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1)
+        assert heap.peek() == ("a", 1)
+        assert len(heap) == 1
+
+    def test_discard(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1)
+        heap.push("b", 2)
+        assert heap.discard("b")
+        assert not heap.discard("b")
+        assert heap.pop() == ("a", 1)
+        assert not heap
+
+    def test_stale_skips_counted(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 5)
+        heap.push("a", 1)
+        heap.pop()
+        assert heap.stale_skips >= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(-50, 50)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_drains_in_sorted_order(self, pushes):
+        """After arbitrary pushes/updates, draining yields sorted output."""
+        heap = LazyMaxHeap()
+        latest = {}
+        for item, prio in pushes:
+            heap.push(item, prio)
+            latest[item] = prio
+        drained = []
+        while heap:
+            drained.append(heap.pop())
+        assert len(drained) == len(latest)
+        assert {i: p for i, p in drained} == latest
+        prios = [p for _, p in drained]
+        assert prios == sorted(prios, reverse=True)

@@ -1,0 +1,150 @@
+"""Stateful (model-based) hypothesis tests for the core data structures.
+
+Each machine drives the structure under test through arbitrary operation
+sequences while mirroring them on a trivially-correct Python model, then
+checks full agreement after every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.structures import DisjointSet, LazyMaxHeap, OrderStatTreap
+
+
+class TreapMachine(RuleBasedStateMachine):
+    """OrderStatTreap vs a plain Python set."""
+
+    def __init__(self):
+        super().__init__()
+        self.treap = OrderStatTreap()
+        self.model = set()
+
+    @rule(key=st.integers(-50, 50))
+    def insert(self, key):
+        if key in self.model:
+            try:
+                self.treap.insert(key)
+                raise AssertionError("duplicate insert must raise")
+            except KeyError:
+                pass
+        else:
+            self.treap.insert(key)
+            self.model.add(key)
+
+    @rule(key=st.integers(-50, 50))
+    def discard(self, key):
+        assert self.treap.discard(key) == (key in self.model)
+        self.model.discard(key)
+
+    @rule(index=st.integers(0, 120))
+    def kth(self, index):
+        ordered = sorted(self.model)
+        if index < len(ordered):
+            assert self.treap.kth(index) == ordered[index]
+
+    @rule(k=st.integers(0, 30))
+    def smallest(self, k):
+        assert self.treap.smallest(k) == sorted(self.model)[:k]
+
+    @invariant()
+    def matches_model(self):
+        assert len(self.treap) == len(self.model)
+        assert list(self.treap) == sorted(self.model)
+        self.treap.check_invariants()
+
+
+class DisjointSetMachine(RuleBasedStateMachine):
+    """DisjointSet vs a list-of-sets model."""
+
+    def __init__(self):
+        super().__init__()
+        self.dsu = DisjointSet()
+        self.model = []  # list of sets
+
+    def _model_find(self, x):
+        return next((s for s in self.model if x in s), None)
+
+    @rule(x=st.integers(0, 25))
+    def add(self, x):
+        self.dsu.add(x)
+        if self._model_find(x) is None:
+            self.model.append({x})
+
+    @rule(x=st.integers(0, 25), y=st.integers(0, 25))
+    def union(self, x, y):
+        self.dsu.union(x, y)
+        sx = self._model_find(x)
+        if sx is None:
+            sx = {x}
+            self.model.append(sx)
+        sy = self._model_find(y)
+        if sy is None:
+            if y not in sx:
+                sy = {y}
+                self.model.append(sy)
+            else:
+                sy = sx
+        if sx is not sy:
+            sx |= sy
+            self.model.remove(sy)
+
+    @invariant()
+    def matches_model(self):
+        assert self.dsu.set_count == len(self.model)
+        assert sorted(self.dsu.component_sizes()) == sorted(
+            len(s) for s in self.model
+        )
+        for s in self.model:
+            members = sorted(s)
+            for a, b in zip(members, members[1:]):
+                assert self.dsu.connected(a, b)
+
+
+class HeapMachine(RuleBasedStateMachine):
+    """LazyMaxHeap vs a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.heap = LazyMaxHeap()
+        self.model = {}
+
+    @rule(item=st.integers(0, 15), priority=st.integers(-30, 30))
+    def push(self, item, priority):
+        self.heap.push(item, priority)
+        self.model[item] = priority
+
+    @rule()
+    def pop(self):
+        if not self.model:
+            return
+        item, priority = self.heap.pop()
+        best = max(self.model.values())
+        assert priority == best
+        # Deterministic tie-break: the smallest item among the best.
+        assert item == min(i for i, p in self.model.items() if p == best)
+        del self.model[item]
+
+    @rule(item=st.integers(0, 15))
+    def discard(self, item):
+        assert self.heap.discard(item) == (item in self.model)
+        self.model.pop(item, None)
+
+    @invariant()
+    def matches_model(self):
+        assert len(self.heap) == len(self.model)
+        for item, priority in self.model.items():
+            assert self.heap.priority_of(item) == priority
+
+
+TestTreapStateful = TreapMachine.TestCase
+TestDisjointSetStateful = DisjointSetMachine.TestCase
+TestHeapStateful = HeapMachine.TestCase
+
+for case in (TestTreapStateful, TestDisjointSetStateful, TestHeapStateful):
+    case.settings = settings(max_examples=40, stateful_step_count=30,
+                             deadline=None)

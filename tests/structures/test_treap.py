@@ -1,0 +1,139 @@
+"""Tests for the order-statistic treap backing the ESDIndex sorted lists."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import OrderStatTreap
+
+
+class TestOrderStatTreapBasics:
+    def test_empty(self):
+        t = OrderStatTreap()
+        assert len(t) == 0
+        assert not t
+        assert list(t) == []
+        assert t.smallest(5) == []
+
+    def test_insert_and_iterate_sorted(self):
+        t = OrderStatTreap([5, 1, 4, 2, 3])
+        assert list(t) == [1, 2, 3, 4, 5]
+        assert len(t) == 5
+
+    def test_duplicate_insert_raises(self):
+        t = OrderStatTreap([1])
+        with pytest.raises(KeyError):
+            t.insert(1)
+
+    def test_contains(self):
+        t = OrderStatTreap([10, 20])
+        assert 10 in t
+        assert 15 not in t
+
+    def test_remove(self):
+        t = OrderStatTreap([1, 2, 3])
+        t.remove(2)
+        assert list(t) == [1, 3]
+        with pytest.raises(KeyError):
+            t.remove(2)
+
+    def test_discard(self):
+        t = OrderStatTreap([1])
+        assert t.discard(1)
+        assert not t.discard(1)
+
+    def test_kth(self):
+        t = OrderStatTreap([30, 10, 20])
+        assert t.kth(0) == 10
+        assert t.kth(1) == 20
+        assert t.kth(2) == 30
+        with pytest.raises(IndexError):
+            t.kth(3)
+        with pytest.raises(IndexError):
+            t.kth(-1)
+
+    def test_rank(self):
+        t = OrderStatTreap([10, 20, 30])
+        assert t.rank(10) == 0
+        assert t.rank(25) == 2
+        assert t.rank(5) == 0
+        assert t.rank(99) == 3
+
+    def test_smallest_prefix(self):
+        t = OrderStatTreap(range(10))
+        assert t.smallest(3) == [0, 1, 2]
+        assert t.smallest(100) == list(range(10))
+        assert t.smallest(0) == []
+
+    def test_min_max(self):
+        t = OrderStatTreap([7, 3, 9])
+        assert t.min() == 3
+        assert t.max() == 9
+        with pytest.raises(IndexError):
+            OrderStatTreap().min()
+        with pytest.raises(IndexError):
+            OrderStatTreap().max()
+
+    def test_clear(self):
+        t = OrderStatTreap([1, 2])
+        t.clear()
+        assert len(t) == 0
+
+    def test_tuple_keys_sorted_lexicographically(self):
+        """ESDIndex keys are (-score, edge); verify ordering semantics."""
+        t = OrderStatTreap()
+        t.insert((-2, (1, 5)))
+        t.insert((-3, (9, 9)))
+        t.insert((-2, (0, 7)))
+        assert t.smallest(2) == [(-3, (9, 9)), (-2, (0, 7))]
+
+    def test_deterministic_shape(self):
+        a = OrderStatTreap(range(50), seed=7)
+        b = OrderStatTreap(range(50), seed=7)
+        assert list(a) == list(b)
+        a.check_invariants()
+
+
+class TestTreapProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(-100, 100), unique=True, max_size=120))
+    def test_matches_sorted_list(self, keys):
+        t = OrderStatTreap(keys)
+        expected = sorted(keys)
+        assert list(t) == expected
+        for i, key in enumerate(expected):
+            assert t.kth(i) == key
+            assert t.rank(key) == i
+        t.check_invariants()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 40)),
+            max_size=120,
+        )
+    )
+    def test_random_insert_delete_script(self, ops):
+        """Arbitrary insert/delete scripts keep the treap consistent."""
+        t = OrderStatTreap()
+        reference = set()
+        for op, key in ops:
+            if op == "ins":
+                if key in reference:
+                    with pytest.raises(KeyError):
+                        t.insert(key)
+                else:
+                    t.insert(key)
+                    reference.add(key)
+            else:
+                assert t.discard(key) == (key in reference)
+                reference.discard(key)
+        assert list(t) == sorted(reference)
+        t.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 200), unique=True, min_size=1, max_size=80),
+           st.integers(0, 90))
+    def test_smallest_agrees_with_slice(self, keys, k):
+        t = OrderStatTreap(keys)
+        assert t.smallest(k) == sorted(keys)[:k]

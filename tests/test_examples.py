@@ -1,0 +1,60 @@
+"""Smoke tests for the example scripts.
+
+The two fast examples run end-to-end; the longer simulations are
+compile-checked and their helper functions exercised directly.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "word_polysemy", "collaboration_bridges",
+     "dynamic_stream", "viral_seeding", "monitoring", "friend_suggestion"],
+)
+def test_example_compiles(name):
+    py_compile.compile(str(EXAMPLES / f"{name}.py"), doraise=True)
+
+
+def _run(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / f"{name}.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart_output():
+    out = _run("quickstart")
+    assert "score(f, g) at tau=1: 2" in out
+    assert "H(3) appeared" in out
+
+
+def test_word_polysemy_output():
+    out = _run("word_polysemy")
+    assert "(bank, money)" in out
+    assert "6 distinct semantic contexts" in out
+
+
+def test_seed_pairs_helper():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "viral_seeding", EXAMPLES / "viral_seeding.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    ranked = [((1, 2), 9), ((2, 3), 8), ((4, 5), 7)]
+    assert module.seed_pairs(ranked, 3) == [1, 2, 3]
+    assert module.seed_pairs(ranked, 10) == [1, 2, 3, 4, 5]
+    assert module.communities_reached({1: 0, 2: 0, 3: 1}, {1, 2, 3}, 2) == 1

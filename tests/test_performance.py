@@ -1,0 +1,60 @@
+"""Loose performance-regression guards.
+
+These bound the asymptotically-important operations with generous
+margins (10-50x headroom on this container), so an accidental complexity
+regression -- e.g. a linear scan slipping into the index query path --
+fails the unit suite rather than only showing up in benchmark drift.
+"""
+
+import time
+
+import pytest
+
+from repro.core import DynamicESDIndex, build_index_fast, topk_online
+from repro.graph import load_dataset
+
+
+@pytest.fixture(scope="module")
+def pokec():
+    return load_dataset("pokec", scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def pokec_index(pokec):
+    return build_index_fast(pokec)
+
+
+def best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_index_query_is_sublinear(pokec_index):
+    """A top-100 query must not scan the whole index (sub-10ms here)."""
+    assert best_of(lambda: pokec_index.topk(100, 3), repeats=5) < 0.1
+
+
+def test_index_build_scales(pokec):
+    """Construction stays within an order of magnitude of its usual time."""
+    assert best_of(lambda: build_index_fast(pokec), repeats=2) < 5.0
+
+
+def test_online_search_prunes(pokec):
+    """OnlineBFS+ must stay far below a full per-edge BFS scan."""
+    assert best_of(lambda: topk_online(pokec, 10, 3), repeats=2) < 2.0
+
+
+def test_maintenance_is_local(pokec):
+    """A single update must be millisecond-scale, not rebuild-scale."""
+    dyn = DynamicESDIndex(pokec)
+    edge = dyn.graph.edge_list()[len(dyn.graph.edge_list()) // 2]
+
+    def roundtrip():
+        dyn.delete_edge(*edge)
+        dyn.insert_edge(*edge)
+
+    assert best_of(roundtrip, repeats=3) < 0.5
