@@ -1,0 +1,25 @@
+"""Service load benchmark: 64 concurrent clients against ``esd serve``.
+
+Beyond the paper's figures but demanded by its motivation: standing
+analytics over a dynamic graph is a repeated-query workload, so the
+serving layer is benchmarked like one -- throughput, p50/p99 latency,
+cache effectiveness, and an offline audit proving every ``topk``
+response exactly matched a from-scratch index at its graph version.
+"""
+
+from repro.bench import emit
+from repro.bench.experiments import run_service_bench
+
+
+def test_service_load(benchmark, capsys, scale):
+    tables = benchmark.pedantic(run_service_bench, args=(scale,), rounds=1)
+    emit(tables, "service", capsys)
+    latency, summary = tables
+    values = {row[0]: row[1] for row in summary.rows}
+    # The acceptance bar for the serving layer:
+    assert values["clients"] >= 64
+    assert values["incorrect topk responses"] == 0
+    assert values["client-side errors"] == 0
+    assert values["cache hits"] > 0
+    assert values["overload rejections (probe)"] > 0
+    assert {row[0] for row in latency.rows} >= {"topk", "update"}

@@ -34,6 +34,18 @@ SCALABILITY_DATASET: str = "livejournal"
 #: Exp-6 uses 1000 random updates; scaled down for pure Python.
 MAINTENANCE_UPDATES: int = 200
 
+#: Service bench (beyond the paper): a mixed read/write load against
+#: ``esd serve``.  64 concurrent clients is the acceptance floor for the
+#: serving layer; writes are a minority share, as in the motivating
+#: standing-analytics workload.
+SERVICE_DATASET: str = "dblp"
+SERVICE_CLIENTS: int = 64
+SERVICE_REQUESTS_PER_CLIENT: int = 12
+SERVICE_WRITE_RATIO: float = 0.15
+#: (k, τ) pairs the service clients draw from -- a small slice of the
+#: paper grid so repeated queries exercise the result cache.
+SERVICE_QUERY_GRID: List[tuple] = [(10, 2), (10, 3), (50, 2), (100, 3)]
+
 
 @lru_cache(maxsize=None)
 def dataset(name: str, scale: float = 1.0) -> Graph:

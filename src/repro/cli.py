@@ -6,6 +6,7 @@ Subcommands
 ``topk``         Top-k edge structural diversity search (online / exact).
 ``build-index``  Build an ESDIndex and save it to disk.
 ``query``        Query a saved ESDIndex.
+``serve``        Long-lived query service over a maintained index (TCP/JSON).
 ``bench``        Run one of the paper's experiments and print its table.
 """
 
@@ -109,10 +110,41 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ESDServer, ServerConfig
+
+    graph = _load_graph(args)
+    server = ESDServer(
+        graph,
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+            queue_timeout=args.queue_timeout,
+            batch_window=args.batch_window,
+            cache_size=args.cache_size,
+        ),
+    )
+    host, port = server.address
+    print(
+        f"esd serve: listening on {host}:{port} "
+        f"(n={graph.n}, m={graph.m}, max_pending={args.max_pending})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("esd serve: interrupted, shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+    return 0
+
+
 #: experiment name -> runner (lazy import keeps CLI startup fast).
 _BENCH_NAMES = [
     "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "fig13", "tau-sensitivity", "link-prediction", "ablation",
+    "service",
 ]
 
 
@@ -133,6 +165,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "tau-sensitivity": lambda: experiments.run_tau_sensitivity(args.scale),
         "link-prediction": lambda: experiments.run_link_prediction(args.scale),
         "ablation": lambda: experiments.run_ablation(args.scale),
+        "service": lambda: experiments.run_service_bench(args.scale),
     }
     tables = runners[args.experiment]()
     print("\n\n".join(t.render() for t in tables))
@@ -178,6 +211,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("-k", type=int, default=10)
     p_query.add_argument("--tau", type=int, default=2)
     p_query.set_defaults(func=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve top-k queries over a maintained index"
+    )
+    _add_graph_arguments(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7031,
+        help="listening port (0 = ephemeral, printed at startup)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admission-control slots before overload rejection",
+    )
+    p_serve.add_argument(
+        "--queue-timeout", type=float, default=2.0,
+        help="seconds a request may wait for a slot",
+    )
+    p_serve.add_argument(
+        "--batch-window", type=float, default=0.002,
+        help="topk coalescing window in seconds",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU result-cache capacity",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser("bench", help="run one paper experiment")
     p_bench.add_argument("experiment", choices=_BENCH_NAMES)

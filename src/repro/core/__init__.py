@@ -28,7 +28,11 @@ from repro.core.diversity import (
 )
 from repro.core.index import ESDIndex
 from repro.core.ordering_search import topk_ordering
-from repro.core.maintenance import DynamicESDIndex, UpdateStats
+from repro.core.maintenance import (
+    DynamicESDIndex,
+    MutationCounters,
+    UpdateStats,
+)
 from repro.core.monitor import TopKChange, TopKMonitor
 from repro.core.online import (
     OnlineSearchStats,
@@ -89,6 +93,7 @@ __all__ = [
     "simulate_parallel_speedup",
     "DynamicESDIndex",
     "UpdateStats",
+    "MutationCounters",
     "TopKMonitor",
     "TopKChange",
     "VertexESDIndex",

@@ -16,7 +16,7 @@ relative to reconstruction (Fig. 11).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Set, Tuple
+from typing import Callable, Iterable, List, Set, Tuple
 
 from repro.core.build import build_index_fast_with_components
 from repro.core.index import ESDIndex
@@ -33,6 +33,27 @@ class UpdateStats:
     edges_rescored: int = 0
 
 
+@dataclass
+class MutationCounters:
+    """Lifetime mutation tally of a :class:`DynamicESDIndex`.
+
+    Like :class:`UpdateStats` but cumulative: one counter pair for the
+    whole index rather than one record per update.
+    """
+
+    insertions: int = 0
+    deletions: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.insertions + self.deletions
+
+
+#: Signature of :meth:`DynamicESDIndex.subscribe` callbacks:
+#: ``(kind, edge, new_version)`` with ``kind in {"insert", "delete"}``.
+MutationCallback = Callable[[str, Edge, int], None]
+
+
 class DynamicESDIndex:
     """ESDIndex plus the state needed to maintain it under edge updates."""
 
@@ -41,6 +62,9 @@ class DynamicESDIndex:
         self._index, self._components = build_index_fast_with_components(
             self._graph
         )
+        self._version = 0
+        self._mutations = MutationCounters()
+        self._subscribers: List[MutationCallback] = []
 
     # -- read-only views ------------------------------------------------------
 
@@ -48,6 +72,49 @@ class DynamicESDIndex:
     def graph(self) -> Graph:
         """The current graph.  Mutate only through insert/delete_edge."""
         return self._graph
+
+    @property
+    def graph_version(self) -> int:
+        """Monotonic version of the maintained graph, for cache invalidation.
+
+        Starts at 0 when the index is built and increases by exactly 1 for
+        every *successful* single-edge mutation (a failed insert/delete
+        leaves it unchanged; vertex and batch operations advance it once
+        per constituent edge update).  Any derived artifact -- a cached
+        query result, an exported snapshot -- tagged with version ``V`` is
+        valid if and only if ``graph_version == V`` still holds; a version
+        mismatch means at least one edge changed in between, so the
+        artifact must be recomputed.  The counter never goes backwards and
+        is never reused, so ``(query, version)`` pairs are safe cache keys.
+        """
+        return self._version
+
+    @property
+    def mutation_counters(self) -> MutationCounters:
+        """Cumulative successful insert/delete counts (live view)."""
+        return self._mutations
+
+    def subscribe(self, callback: MutationCallback) -> None:
+        """Register ``callback(kind, edge, new_version)`` on each mutation.
+
+        Callbacks fire after the index is fully consistent for every
+        successful edge insert/delete -- the hook the serving layer uses
+        to purge stale cache entries and feed change monitors.  Callbacks
+        run synchronously on the mutating thread (under the caller's
+        write lock, if any), so they must be fast and must not mutate
+        this index.
+        """
+        self._subscribers.append(callback)
+
+    def _committed(self, kind: str, edge: Edge) -> None:
+        """Record one successful mutation and notify subscribers."""
+        self._version += 1
+        if kind == "insert":
+            self._mutations.insertions += 1
+        else:
+            self._mutations.deletions += 1
+        for callback in self._subscribers:
+            callback(kind, edge, self._version)
 
     @property
     def index(self) -> ESDIndex:
@@ -98,6 +165,7 @@ class DynamicESDIndex:
 
         # Lines 20-22: refresh index entries for every affected edge.
         self._rescore(self._affected_edges(edge, common), stats)
+        self._committed("insert", edge)
         return stats
 
     # -- deletion (Algorithm 5) ---------------------------------------------
@@ -137,6 +205,7 @@ class DynamicESDIndex:
         self._rescore(affected, stats)
         self._index.remove_edge(edge)
         del self._components[edge]
+        self._committed("delete", edge)
         return stats
 
     # -- vertex updates (§V: a vertex update is a series of edge updates) ---

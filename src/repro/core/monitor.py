@@ -10,7 +10,7 @@ of an evolving social graph without recomputing anything from scratch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.maintenance import DynamicESDIndex
 from repro.graph.graph import Edge, Graph, Vertex
@@ -21,7 +21,7 @@ class TopKChange:
     """Difference between consecutive top-k answer sets."""
 
     update: str
-    edge: Edge
+    edge: Optional[Edge]
     entered: Tuple[Tuple[Edge, int], ...]
     left: Tuple[Tuple[Edge, int], ...]
 
@@ -50,12 +50,49 @@ class TopKMonitor:
     history: List[TopKChange] = field(init=False, default_factory=list)
 
     def __post_init__(self) -> None:
-        if self.k < 1:
-            raise ValueError(f"k must be >= 1, got {self.k}")
-        if self.tau < 1:
-            raise ValueError(f"tau must be >= 1, got {self.tau}")
+        self._validate(self.k, self.tau)
         self._dyn = DynamicESDIndex(self.graph)
         self._current = self._dyn.topk(self.k, self.tau)
+
+    @staticmethod
+    def _validate(k: int, tau: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+
+    @classmethod
+    def attach(cls, dyn: DynamicESDIndex, k: int, tau: int) -> "TopKMonitor":
+        """Standing query over an externally-owned :class:`DynamicESDIndex`.
+
+        Unlike the constructor, the index (and its graph) stays owned by
+        the caller: updates applied directly to ``dyn`` -- e.g. by a
+        query service that multiplexes many monitors over one index --
+        are picked up by calling :meth:`refresh` after each mutation.
+        The :meth:`insert`/:meth:`delete` methods still work and mutate
+        the shared index.
+        """
+        cls._validate(k, tau)
+        monitor = cls.__new__(cls)
+        monitor.graph = dyn.graph
+        monitor.k = k
+        monitor.tau = tau
+        monitor._dyn = dyn
+        monitor._current = dyn.topk(k, tau)
+        monitor.history = []
+        return monitor
+
+    def refresh(
+        self, update: str = "external", edge: Optional[Edge] = None
+    ) -> TopKChange:
+        """Re-evaluate the standing query after out-of-band updates.
+
+        For monitors created with :meth:`attach`, the owner calls this
+        after mutating the shared index; the returned change (also
+        appended to :attr:`history`) diffs against the answer set seen at
+        the previous refresh.
+        """
+        return self._diff(update, edge)
 
     @property
     def top(self) -> List[Tuple[Edge, int]]:
@@ -77,7 +114,7 @@ class TopKMonitor:
         self._dyn.delete_edge(u, v)
         return self._diff("delete", (u, v))
 
-    def _diff(self, kind: str, edge: Edge) -> TopKChange:
+    def _diff(self, kind: str, edge: Optional[Edge]) -> TopKChange:
         new = self._dyn.topk(self.k, self.tau)
         old_set: Set[Tuple[Edge, int]] = set(self._current)
         new_set: Set[Tuple[Edge, int]] = set(new)

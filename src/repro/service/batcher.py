@@ -1,0 +1,124 @@
+"""Request batching: coalesce concurrent top-k queries into one index pass.
+
+Under concurrent load many clients ask for the same or similar ``(k, τ)``
+at the same graph version.  The batcher turns a burst of concurrent
+``submit`` calls into a single execution:
+
+* the first caller in an idle batcher becomes the **leader**: it waits
+  ``window`` seconds for followers to pile in, then drains the pending
+  set and runs ``execute`` once over all distinct ``(k, τ)`` keys (the
+  engine runs that under a single read-lock acquisition -- one index
+  pass);
+* every other caller (a **follower**) parks on its key's event and wakes
+  with the shared result;
+* duplicate keys within a batch are answered by one computation
+  (single-flight), so a thundering herd of identical queries costs one
+  ``topk`` regardless of herd size.
+
+``window = 0`` degenerates to pure single-flight: no deliberate delay,
+but queries that arrive while a batch is executing still coalesce into
+the next one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Hashable, List, Tuple
+
+
+class _Pending:
+    """One distinct key awaited by one or more callers."""
+
+    __slots__ = ("event", "result", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.waiters = 0
+
+
+class TopKBatcher:
+    """Window-based coalescer; see module docstring.
+
+    ``execute`` receives the list of distinct pending keys and must
+    return ``{key: result}`` covering all of them.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[List[Hashable]], Dict[Hashable, Any]],
+        window: float = 0.002,
+    ) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self._execute = execute
+        self.window = window
+        self._lock = threading.Lock()
+        self._pending: Dict[Hashable, _Pending] = {}
+        self._leader_active = False
+        # accounting
+        self.batches = 0
+        self.requests = 0
+        self.coalesced = 0
+        self.largest_batch = 0
+
+    def submit(self, key: Hashable, timeout: float = 60.0) -> Tuple[Any, int]:
+        """Submit ``key``; return ``(result, batch_requests)``.
+
+        ``batch_requests`` is the number of requests answered by the
+        batch this key rode in (1 = no coalescing happened).
+        """
+        with self._lock:
+            entry = self._pending.get(key)
+            if entry is None:
+                entry = _Pending()
+                self._pending[key] = entry
+            entry.waiters += 1
+            self.requests += 1
+            lead = not self._leader_active
+            if lead:
+                self._leader_active = True
+        if lead:
+            self._run_batch()
+        if not entry.event.wait(timeout):
+            raise TimeoutError(f"batched query timed out after {timeout}s")
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    def _run_batch(self) -> None:
+        if self.window:
+            time.sleep(self.window)
+        with self._lock:
+            batch = self._pending
+            self._pending = {}
+            self._leader_active = False
+            batch_requests = sum(e.waiters for e in batch.values())
+            self.batches += 1
+            self.coalesced += batch_requests - len(batch)
+            self.largest_batch = max(self.largest_batch, batch_requests)
+        try:
+            results = self._execute(list(batch))
+        except BaseException as exc:  # propagate to every waiter
+            for entry in batch.values():
+                entry.error = exc
+                entry.event.set()
+            return
+        for key, entry in batch.items():
+            if key in results:
+                entry.result = (results[key], batch_requests)
+            else:
+                entry.error = KeyError(f"execute returned no result for {key!r}")
+            entry.event.set()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "coalesced": self.coalesced,
+                "largest_batch": self.largest_batch,
+                "window_ms": self.window * 1000,
+            }

@@ -1,0 +1,102 @@
+"""Thread-safe LRU cache for query results, keyed by graph version.
+
+Keys are ``(k, tau, graph_version)`` tuples: because
+:attr:`~repro.core.maintenance.DynamicESDIndex.graph_version` increases
+on every successful mutation and is never reused, an entry written at
+version ``V`` can only ever be read back while the graph is still at
+``V`` -- stale results are unreachable by construction.  Old-version
+entries would still occupy LRU slots until they age out, so the engine
+also calls :meth:`purge_stale` from its mutation hook to reclaim them
+eagerly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Tuple
+
+#: Sentinel distinguishing "miss" from a cached ``None``.
+_MISS = object()
+
+
+class ResultCache:
+    """Bounded LRU mapping with hit/miss/eviction accounting."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.purged = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a hit refreshes the key's recency."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def purge_stale(self, current_version: int) -> int:
+        """Drop entries whose version component is below ``current_version``.
+
+        Assumes keys are tuples whose last element is the graph version
+        (the engine's convention); returns the number of entries dropped.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key[-1] < current_version
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.purged += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "purged": self.purged,
+            "hit_rate": round(self.hit_rate, 4),
+        }

@@ -1,0 +1,267 @@
+"""The query engine: one shared DynamicESDIndex behind locks + cache.
+
+:class:`QueryEngine` is the transport-independent core of the service --
+the TCP server, the CLI and the in-process tests all talk to it.  It
+composes the serving-layer pieces around one
+:class:`~repro.core.maintenance.DynamicESDIndex`:
+
+* **snapshot consistency** -- every read runs under the shared side of a
+  write-preferring :class:`~repro.service.rwlock.RWLock`, every mutation
+  under the exclusive side, so queries never observe a half-applied
+  update;
+* **result caching** -- top-k answers are cached in an LRU keyed by
+  ``(k, τ, graph_version)``; the index's mutation hook purges stale
+  versions eagerly and the version component makes stale hits impossible
+  (see :mod:`repro.service.cache`);
+* **batching** -- concurrent ``topk`` calls coalesce through a
+  :class:`~repro.service.batcher.TopKBatcher` into one read-locked index
+  pass;
+* **change feeds** -- standing ``(k, τ)`` queries registered via
+  :meth:`watch` are :class:`~repro.core.monitor.TopKMonitor` instances
+  attached to the shared index and refreshed inside each update's write
+  section.
+
+All public methods return JSON-ready dictionaries (edges as ``[u, v]``
+lists) and raise ``ValueError``/``KeyError`` for domain errors, which the
+server maps to protocol error codes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.maintenance import DynamicESDIndex
+from repro.core.monitor import TopKChange, TopKMonitor
+from repro.graph.graph import Graph
+from repro.service.batcher import TopKBatcher
+from repro.service.cache import ResultCache
+from repro.service.metrics import MetricsRegistry
+from repro.service.rwlock import RWLock
+
+
+class _Watch:
+    """A registered standing query and its undelivered changes."""
+
+    __slots__ = ("monitor", "unread")
+
+    def __init__(self, monitor: TopKMonitor) -> None:
+        self.monitor = monitor
+        self.unread: List[TopKChange] = []
+
+
+def _validate_k_tau(k: int, tau: int) -> None:
+    if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+        raise ValueError(f"k must be an integer >= 1, got {k!r}")
+    if isinstance(tau, bool) or not isinstance(tau, int) or tau < 1:
+        raise ValueError(f"tau must be an integer >= 1, got {tau!r}")
+
+
+def _items(pairs) -> List[List[Any]]:
+    """``[((u, v), score), ...] -> [[u, v, score], ...]`` (JSON-ready)."""
+    return [[u, v, score] for (u, v), score in pairs]
+
+
+class QueryEngine:
+    """Concurrent façade over one maintained ESD index."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        cache_size: int = 1024,
+        batch_window: float = 0.002,
+    ) -> None:
+        self._dyn = DynamicESDIndex(graph)
+        self._lock = RWLock()
+        self._cache = ResultCache(cache_size)
+        self._batcher = TopKBatcher(self._run_batch, window=batch_window)
+        self.metrics = MetricsRegistry()
+        self._watch_lock = threading.Lock()
+        self._watches: Dict[int, _Watch] = {}
+        self._watch_ids = itertools.count(1)
+        self._dyn.subscribe(self._on_mutation)
+
+    # -- plumbing -------------------------------------------------------------
+
+    @property
+    def graph_version(self) -> int:
+        return self._dyn.graph_version
+
+    @property
+    def dynamic_index(self) -> DynamicESDIndex:
+        """The underlying index (read-only use; mutate via :meth:`update`)."""
+        return self._dyn
+
+    def _on_mutation(self, kind: str, edge, version: int) -> None:
+        # Runs under the write lock, after the index is consistent again.
+        purged = self._cache.purge_stale(version)
+        if purged:
+            self.metrics.incr("cache_purged_entries", purged)
+
+    def _run_batch(
+        self, keys: List[Hashable]
+    ) -> Dict[Hashable, Dict[str, Any]]:
+        """Answer all distinct ``(k, τ)`` keys in one read-locked pass."""
+        results: Dict[Hashable, Dict[str, Any]] = {}
+        with self._lock.read_locked():
+            version = self._dyn.graph_version
+            for key in keys:
+                k, tau = key
+                hit, payload = self._cache.get((k, tau, version))
+                if not hit:
+                    payload = {
+                        "items": _items(self._dyn.topk(k, tau)),
+                        "graph_version": version,
+                    }
+                    self._cache.put((k, tau, version), payload)
+                results[key] = payload
+        return results
+
+    # -- read endpoints -------------------------------------------------------
+
+    def topk(self, k: int = 10, tau: int = 2) -> Dict[str, Any]:
+        """Top-k query; served from cache or a coalesced index pass."""
+        _validate_k_tau(k, tau)
+        with self.metrics.timed("topk"):
+            # Racy fast path: a hit for the version we just read is valid
+            # by keying even if a writer lands concurrently -- the answer
+            # was current at some instant inside this request.
+            version = self._dyn.graph_version
+            hit, payload = self._cache.get((k, tau, version))
+            if hit:
+                return dict(payload, cached=True, batched=1)
+            payload, batch_requests = self._batcher.submit((k, tau))
+            return dict(payload, cached=False, batched=batch_requests)
+
+    def score(self, u, v, tau: int = 2) -> Dict[str, Any]:
+        """Structural diversity of one edge at threshold ``tau``."""
+        _validate_k_tau(1, tau)
+        with self.metrics.timed("score"):
+            with self._lock.read_locked():
+                return {
+                    "edge": [u, v],
+                    "tau": tau,
+                    "score": self._dyn.index.score((u, v), tau),
+                    "in_graph": self._dyn.graph.has_edge(u, v),
+                    "graph_version": self._dyn.graph_version,
+                }
+
+    def stats(self) -> Dict[str, Any]:
+        """Graph/index snapshot: sizes, version, mutation counters."""
+        with self.metrics.timed("stats"):
+            with self._lock.read_locked():
+                graph = self._dyn.graph
+                counters = self._dyn.mutation_counters
+                return {
+                    "n": graph.n,
+                    "m": graph.m,
+                    "graph_version": self._dyn.graph_version,
+                    "mutations": {
+                        "insertions": counters.insertions,
+                        "deletions": counters.deletions,
+                        "total": counters.total,
+                    },
+                    "index": self._dyn.index.stats(),
+                    "watches": len(self._watches),
+                }
+
+    # -- write endpoint -------------------------------------------------------
+
+    def update(self, action: str, u, v) -> Dict[str, Any]:
+        """Apply one edge mutation under the exclusive lock.
+
+        ``action`` is ``"insert"`` or ``"delete"``.  Registered watches
+        are refreshed inside the same write section, so their change
+        feeds observe every version exactly once.
+        """
+        if action not in ("insert", "delete"):
+            raise ValueError(
+                f"action must be 'insert' or 'delete', got {action!r}"
+            )
+        with self.metrics.timed("update"):
+            with self._lock.write_locked():
+                if action == "insert":
+                    stats = self._dyn.insert_edge(u, v)
+                else:
+                    stats = self._dyn.delete_edge(u, v)
+                version = self._dyn.graph_version
+                notified = 0
+                with self._watch_lock:
+                    for watch in self._watches.values():
+                        change = watch.monitor.refresh(action, (u, v))
+                        if change.changed:
+                            watch.unread.append(change)
+                            notified += 1
+                return {
+                    "applied": True,
+                    "action": action,
+                    "edge": [u, v],
+                    "graph_version": version,
+                    "update_stats": {
+                        "common_neighbors": stats.common_neighbors,
+                        "ego_edges": stats.ego_edges,
+                        "edges_rescored": stats.edges_rescored,
+                    },
+                    "watches_notified": notified,
+                }
+
+    # -- change feeds ---------------------------------------------------------
+
+    def watch(self, k: int = 10, tau: int = 2) -> Dict[str, Any]:
+        """Register a standing ``(k, τ)`` query; returns its feed id."""
+        _validate_k_tau(k, tau)
+        with self.metrics.timed("watch"):
+            with self._lock.read_locked():
+                monitor = TopKMonitor.attach(self._dyn, k, tau)
+                with self._watch_lock:
+                    watch_id = next(self._watch_ids)
+                    self._watches[watch_id] = _Watch(monitor)
+                return {
+                    "watch_id": watch_id,
+                    "k": k,
+                    "tau": tau,
+                    "top": _items(monitor.top),
+                    "graph_version": self._dyn.graph_version,
+                }
+
+    def changes(self, watch_id: int) -> Dict[str, Any]:
+        """Drain the undelivered top-k changes of one watch."""
+        with self.metrics.timed("changes"):
+            with self._watch_lock:
+                watch = self._watches.get(watch_id)
+                if watch is None:
+                    raise KeyError(f"no such watch: {watch_id}")
+                drained, watch.unread = watch.unread, []
+            return {
+                "watch_id": watch_id,
+                "changes": [
+                    {
+                        "update": change.update,
+                        "edge": list(change.edge) if change.edge else None,
+                        "entered": _items(change.entered),
+                        "left": _items(change.left),
+                    }
+                    for change in drained
+                ],
+            }
+
+    def unwatch(self, watch_id: int) -> Dict[str, Any]:
+        """Deregister a standing query."""
+        with self.metrics.timed("unwatch"):
+            with self._watch_lock:
+                if self._watches.pop(watch_id, None) is None:
+                    raise KeyError(f"no such watch: {watch_id}")
+            return {"watch_id": watch_id, "removed": True}
+
+    # -- observability --------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The ``/metrics`` payload: endpoints, cache, batcher, lock."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self._cache.stats()
+        snapshot["batcher"] = self._batcher.stats()
+        snapshot["lock"] = self._lock.snapshot()
+        snapshot["graph_version"] = self._dyn.graph_version
+        return snapshot

@@ -1,0 +1,102 @@
+"""Per-endpoint service metrics: request counts, errors, latency quantiles.
+
+Every engine endpoint wraps its work in :meth:`MetricsRegistry.timed`;
+the server's ``metrics`` op returns :meth:`MetricsRegistry.snapshot`,
+the JSON equivalent of a ``/metrics`` scrape.  Latency quantiles are
+computed over a bounded ring of recent samples (the standard trade-off:
+exact percentiles over a sliding window rather than approximate ones
+over all time).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator
+
+#: Per-endpoint latency samples retained for quantile estimation.
+SAMPLE_WINDOW = 4096
+
+
+def percentile(samples, fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0.0 for an empty list)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class EndpointMetrics:
+    """Counters and a latency window for one endpoint."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self.samples: Deque[float] = deque(maxlen=SAMPLE_WINDOW)
+
+    def observe(self, seconds: float, error: bool = False) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        self.total_seconds += seconds
+        self.samples.append(seconds)
+
+    def snapshot(self) -> Dict[str, object]:
+        window = list(self.samples)
+        mean = self.total_seconds / self.requests if self.requests else 0.0
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "mean_ms": round(mean * 1000, 3),
+            "p50_ms": round(percentile(window, 0.50) * 1000, 3),
+            "p99_ms": round(percentile(window, 0.99) * 1000, 3),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe collection of endpoint metrics plus free-form counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, EndpointMetrics] = {}
+        self._counters: Dict[str, int] = {}
+        self._started = time.time()
+
+    def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
+        with self._lock:
+            metrics = self._endpoints.get(endpoint)
+            if metrics is None:
+                metrics = self._endpoints[endpoint] = EndpointMetrics()
+            metrics.observe(seconds, error)
+
+    @contextmanager
+    def timed(self, endpoint: str) -> Iterator[None]:
+        """Time one request; exceptions are recorded as errors and re-raised."""
+        start = time.perf_counter()
+        try:
+            yield
+        except Exception:
+            self.observe(endpoint, time.perf_counter() - start, error=True)
+            raise
+        self.observe(endpoint, time.perf_counter() - start)
+
+    def incr(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "endpoints": {
+                    name: metrics.snapshot()
+                    for name, metrics in sorted(self._endpoints.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+            }

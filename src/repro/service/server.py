@@ -1,0 +1,228 @@
+"""Threaded TCP server speaking the JSON line protocol.
+
+:class:`ESDServer` owns one :class:`~repro.service.engine.QueryEngine`
+and serves it over a ``ThreadingTCPServer`` (one daemon thread per
+connection, many requests per connection).  On top of the engine it adds
+**admission control**: a counting semaphore bounds how many requests may
+be queued-or-executing at once; a request that cannot obtain a slot
+within ``queue_timeout`` seconds is answered with a structured
+``overloaded`` error instead of hanging -- callers get an explicit
+backpressure signal they can retry on.
+
+Start it in-process (``server.start()``; it binds in the constructor, so
+``server.address`` is usable immediately) or via ``esd serve`` from the
+command line.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.service import protocol
+from repro.service.engine import QueryEngine
+from repro.service.protocol import ProtocolError
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`ESDServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral; read the bound port from ``address``
+    max_pending: int = 64  #: admission-control slots (queued + executing)
+    queue_timeout: float = 2.0  #: seconds to wait for a slot before rejecting
+    batch_window: float = 0.002  #: topk coalescing window (seconds)
+    cache_size: int = 1024  #: LRU result-cache capacity
+    debug: bool = False  #: enable the test-only ``sleep`` op
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.queue_timeout < 0:
+            raise ValueError(
+                f"queue_timeout must be >= 0, got {self.queue_timeout}"
+            )
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, write response lines."""
+
+    def handle(self) -> None:
+        server: "_TCPServer" = self.server  # type: ignore[assignment]
+        while True:
+            try:
+                line = self.rfile.readline(protocol.MAX_LINE_BYTES + 1)
+            except OSError:
+                return
+            if not line:
+                return
+            stripped = line.strip()
+            if not stripped:
+                continue
+            response = server.owner.handle_line(stripped)
+            try:
+                self.wfile.write(protocol.encode(response))
+                self.wfile.flush()
+            except OSError:
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, owner: "ESDServer") -> None:
+        self.owner = owner
+        super().__init__(address, _LineHandler)
+
+
+class ESDServer:
+    """A long-lived top-k structural diversity query service."""
+
+    def __init__(self, graph: Graph, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self.engine = QueryEngine(
+            graph,
+            cache_size=self.config.cache_size,
+            batch_window=self.config.batch_window,
+        )
+        self._admission = threading.Semaphore(self.config.max_pending)
+        self._tcp = _TCPServer((self.config.host, self.config.port), self)
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid as soon as constructed)."""
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ESDServer":
+        """Serve on a background daemon thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="esd-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting connections and close the listening socket."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ESDServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- request handling -----------------------------------------------------
+
+    def handle_line(self, line: bytes) -> Dict[str, Any]:
+        """Decode, admit, dispatch one request; always returns a response."""
+        try:
+            message = protocol.decode_line(line)
+        except ProtocolError as exc:
+            return protocol.error_response(exc.code, exc.message)
+        request_id = message.get("id")
+        if not self._admission.acquire(timeout=self.config.queue_timeout):
+            self.engine.metrics.incr("rejected_overload")
+            return protocol.error_response(
+                protocol.OVERLOADED,
+                f"server at capacity ({self.config.max_pending} pending); "
+                "retry later",
+                request_id,
+            )
+        try:
+            return protocol.ok_response(self._dispatch(message), request_id)
+        except ProtocolError as exc:
+            return protocol.error_response(exc.code, exc.message, request_id)
+        except (ValueError, TypeError) as exc:
+            return protocol.error_response(
+                protocol.INVALID_ARGUMENT, str(exc), request_id
+            )
+        except KeyError as exc:
+            detail = exc.args[0] if exc.args else exc
+            return protocol.error_response(
+                protocol.NOT_FOUND, str(detail), request_id
+            )
+        except Exception as exc:  # never crash the connection thread
+            self.engine.metrics.incr("internal_errors")
+            return protocol.error_response(
+                protocol.INTERNAL, f"{type(exc).__name__}: {exc}", request_id
+            )
+        finally:
+            self._admission.release()
+
+    def _dispatch(self, message: Dict[str, Any]) -> Any:
+        engine = self.engine
+        op = message["op"]
+        if op == "ping":
+            return "pong"
+        if op == "topk":
+            return engine.topk(
+                protocol.int_field(message, "k", default=10),
+                protocol.int_field(message, "tau", default=2),
+            )
+        if op == "score":
+            return engine.score(
+                protocol.vertex_field(message, "u"),
+                protocol.vertex_field(message, "v"),
+                protocol.int_field(message, "tau", default=2),
+            )
+        if op == "stats":
+            return engine.stats()
+        if op == "update":
+            action = message.get("action")
+            if action not in ("insert", "delete"):
+                raise ProtocolError(
+                    protocol.INVALID_ARGUMENT,
+                    f"field 'action' must be 'insert' or 'delete', got {action!r}",
+                )
+            return engine.update(
+                action,
+                protocol.vertex_field(message, "u"),
+                protocol.vertex_field(message, "v"),
+            )
+        if op == "watch":
+            return engine.watch(
+                protocol.int_field(message, "k", default=10),
+                protocol.int_field(message, "tau", default=2),
+            )
+        if op == "changes":
+            return engine.changes(protocol.int_field(message, "watch_id"))
+        if op == "unwatch":
+            return engine.unwatch(protocol.int_field(message, "watch_id"))
+        if op == "metrics":
+            return engine.metrics_snapshot()
+        if op == "sleep":
+            # Test/bench hook: occupy an admission slot for a while so
+            # backpressure behaviour is observable deterministically.
+            if not self.config.debug:
+                raise ProtocolError(
+                    protocol.UNKNOWN_OP, "op 'sleep' requires debug mode"
+                )
+            seconds = message.get("seconds", 0.1)
+            if not isinstance(seconds, (int, float)) or not 0 <= seconds <= 5:
+                raise ProtocolError(
+                    protocol.INVALID_ARGUMENT,
+                    f"field 'seconds' must be in [0, 5], got {seconds!r}",
+                )
+            time.sleep(float(seconds))
+            return {"slept": float(seconds)}
+        raise ProtocolError(protocol.UNKNOWN_OP, f"unknown op: {op!r}")

@@ -1,0 +1,100 @@
+"""Offline correctness checking for service responses.
+
+The service tags every ``topk`` answer and every applied update with the
+:attr:`~repro.core.maintenance.DynamicESDIndex.graph_version` it was
+computed at.  Because versions advance by exactly 1 per edge mutation,
+the full update log replayed onto the initial graph reconstructs the
+graph at *any* version -- so a recorded load (the bench workload, the
+concurrency tests) can be audited after the fact: every response must
+equal ``build_index_fast(graph_at_that_version).topk(k, τ)``.
+
+Both ``ESDIndex.topk`` and the maintained index order results by
+``(-score, edge)``, so equal inputs give byte-identical answers and the
+comparison is exact, not set-based.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.build import build_index_fast
+from repro.graph.graph import Graph
+
+#: One applied mutation: ``(graph_version_after, action, (u, v))``.
+UpdateRecord = Tuple[int, str, Tuple[Any, Any]]
+
+#: One recorded ``topk`` response: ``(k, tau, payload_dict)``.
+TopKRecord = Tuple[int, int, Dict[str, Any]]
+
+
+def graph_at_version(
+    initial: Graph,
+    updates: Iterable[UpdateRecord],
+    version: int,
+    base_version: int = 0,
+) -> Graph:
+    """Replay ``updates`` (sorted by version) up to ``version``.
+
+    ``initial`` is the graph at ``base_version``; updates at versions
+    ``base_version+1 .. version`` are applied in order.  Raises
+    ``ValueError`` on gaps, so a lost update record is loud.
+    """
+    graph = initial.copy()
+    expected = base_version + 1
+    for record_version, action, (u, v) in sorted(updates):
+        if record_version > version:
+            break
+        if record_version != expected:
+            raise ValueError(
+                f"update log gap: expected version {expected}, "
+                f"got {record_version}"
+            )
+        expected += 1
+        if action == "insert":
+            graph.add_edge(u, v)
+        elif action == "delete":
+            graph.remove_edge(u, v)
+        else:
+            raise ValueError(f"unknown action in update log: {action!r}")
+    if expected <= version:
+        raise ValueError(
+            f"update log ends at version {expected - 1}, need {version}"
+        )
+    return graph
+
+
+def verify_topk_responses(
+    initial: Graph,
+    updates: Sequence[UpdateRecord],
+    responses: Sequence[TopKRecord],
+    base_version: int = 0,
+) -> List[str]:
+    """Audit recorded ``topk`` payloads against from-scratch recomputes.
+
+    Returns a list of human-readable mismatch descriptions (empty =
+    every response was exactly correct at its graph version).  Builds
+    one fresh index per distinct version, so cost scales with the number
+    of versions actually queried, not the number of responses.
+    """
+    by_version: Dict[int, List[TopKRecord]] = {}
+    for record in responses:
+        by_version.setdefault(record[2]["graph_version"], []).append(record)
+
+    mismatches: List[str] = []
+    for version in sorted(by_version):
+        graph = graph_at_version(initial, updates, version, base_version)
+        index = build_index_fast(graph)
+        expected_cache: Dict[Tuple[int, int], List[List[Any]]] = {}
+        for k, tau, payload in by_version[version]:
+            expected = expected_cache.get((k, tau))
+            if expected is None:
+                expected = [
+                    [u, v, score] for (u, v), score in index.topk(k, tau)
+                ]
+                expected_cache[(k, tau)] = expected
+            if payload["items"] != expected:
+                mismatches.append(
+                    f"topk(k={k}, tau={tau}) at version {version}: "
+                    f"served {payload['items']!r} != expected {expected!r}"
+                )
+    return mismatches

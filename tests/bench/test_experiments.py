@@ -116,3 +116,21 @@ def test_ablation_structure():
     assert len(frameworks.rows) == 5
     assert len(orientation.rows) == 2
     assert len(builders.rows) == 2
+
+
+def test_service_bench_smoke(monkeypatch):
+    import repro.bench.workloads as workloads
+
+    from repro.bench.experiments import run_service_bench
+
+    # A scaled-down fleet keeps the unit suite fast; the full 64-client
+    # run lives in benchmarks/test_service_load.py.
+    monkeypatch.setattr(workloads, "SERVICE_CLIENTS", 12)
+    monkeypatch.setattr(workloads, "SERVICE_REQUESTS_PER_CLIENT", 4)
+    latency, summary = run_service_bench(SCALE)
+    values = {row[0]: row[1] for row in summary.rows}
+    assert values["incorrect topk responses"] == 0
+    assert values["client-side errors"] == 0
+    assert values["cache hits"] > 0
+    assert values["overload rejections (probe)"] > 0
+    assert values["requests served"] >= 12 * 4

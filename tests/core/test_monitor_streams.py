@@ -1,0 +1,115 @@
+"""TopKMonitor under interleaved insert/delete streams.
+
+Every reported ``entered``/``left`` set is checked against from-scratch
+recomputes of consecutive answer sets, and the attach/refresh path (the
+service's change feeds) is checked against the owning-constructor path.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DynamicESDIndex, build_index_fast
+from repro.core.monitor import TopKMonitor
+from repro.graph import Graph
+from repro.graph.generators import erdos_renyi
+
+
+def _interleaved_script(graph, steps, seed):
+    """Deterministic stream mixing deletions of existing edges with
+    re-insertions and brand-new edges."""
+    rng = random.Random(seed)
+    current = graph.copy()
+    script = []
+    vertices = sorted(current.vertices())
+    for _ in range(steps):
+        edges = sorted(current.edges())
+        if edges and rng.random() < 0.5:
+            edge = rng.choice(edges)
+            script.append(("delete", edge))
+            current.remove_edge(*edge)
+        else:
+            u, v = rng.sample(vertices, 2)
+            if current.has_edge(u, v):
+                script.append(("delete", (u, v)))
+                current.remove_edge(u, v)
+            else:
+                script.append(("insert", (u, v)))
+                current.add_edge(u, v)
+    return script
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+@pytest.mark.parametrize("k,tau", [(5, 1), (3, 2)])
+def test_stream_changes_match_scratch_recompute(seed, k, tau):
+    graph = erdos_renyi(25, 0.2, seed=seed)
+    monitor = TopKMonitor(graph, k=k, tau=tau)
+    current = graph.copy()
+    previous_answer = build_index_fast(current).topk(k, tau)
+    assert monitor.top == previous_answer
+
+    for action, (u, v) in _interleaved_script(graph, steps=30, seed=seed):
+        change = (
+            monitor.insert(u, v) if action == "insert" else monitor.delete(u, v)
+        )
+        if action == "insert":
+            current.add_edge(u, v)
+        else:
+            current.remove_edge(u, v)
+        answer = build_index_fast(current).topk(k, tau)
+        assert set(monitor.top) == set(answer)
+        assert set(change.entered) == set(answer) - set(previous_answer)
+        assert set(change.left) == set(previous_answer) - set(answer)
+        assert change.changed == (set(answer) != set(previous_answer))
+        previous_answer = answer
+
+    assert len(monitor.history) == 30
+
+
+def test_attach_refresh_matches_owning_monitor():
+    graph = erdos_renyi(20, 0.25, seed=9)
+    dyn = DynamicESDIndex(graph)
+    attached = TopKMonitor.attach(dyn, k=4, tau=1)
+    owning = TopKMonitor(graph, k=4, tau=1)
+    assert attached.top == owning.top
+
+    script = _interleaved_script(graph, steps=15, seed=9)
+    for action, (u, v) in script:
+        if action == "insert":
+            dyn.insert_edge(u, v)
+            truth = owning.insert(u, v)
+        else:
+            dyn.delete_edge(u, v)
+            truth = owning.delete(u, v)
+        change = attached.refresh(action, (u, v))
+        assert change.entered == truth.entered
+        assert change.left == truth.left
+        assert change.update == truth.update
+        assert attached.top == owning.top
+    assert len(attached.history) == len(script)
+
+
+def test_attach_validates_and_shares_index():
+    graph = Graph([(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)])
+    dyn = DynamicESDIndex(graph)
+    with pytest.raises(ValueError):
+        TopKMonitor.attach(dyn, k=0, tau=1)
+    with pytest.raises(ValueError):
+        TopKMonitor.attach(dyn, k=1, tau=0)
+    attached = TopKMonitor.attach(dyn, k=2, tau=1)
+    assert attached.dynamic_index is dyn
+    # refresh with no update is a no-op change
+    change = attached.refresh()
+    assert change.update == "external" and change.edge is None
+    assert not change.changed
+
+
+def test_refresh_on_owning_monitor_after_direct_index_mutation():
+    graph = Graph([(0, 1), (1, 2), (0, 2), (2, 3), (0, 3)])
+    monitor = TopKMonitor(graph, k=3, tau=1)
+    # Mutate through the underlying index, bypassing insert()/delete().
+    monitor.dynamic_index.insert_edge(1, 3)
+    change = monitor.refresh("insert", (1, 3))
+    fresh = build_index_fast(monitor.dynamic_index.graph).topk(3, 1)
+    assert set(monitor.top) == set(fresh)
+    assert change.update == "insert"

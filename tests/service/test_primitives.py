@@ -1,0 +1,211 @@
+"""Unit tests for the serving-layer building blocks."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.batcher import TopKBatcher
+from repro.service.cache import ResultCache
+from repro.service.metrics import MetricsRegistry, percentile
+from repro.service.rwlock import RWLock
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        inside = threading.Barrier(3, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # all three readers hold the lock at once
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        log = []
+
+        def writer(tag):
+            with lock.write_locked():
+                log.append(f"{tag}-in")
+                time.sleep(0.02)
+                log.append(f"{tag}-out")
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        # Critical sections never interleave: in/out strictly alternate.
+        for i in range(0, len(log), 2):
+            assert log[i].endswith("-in") and log[i + 1].endswith("-out")
+            assert log[i].split("-")[0] == log[i + 1].split("-")[0]
+
+    def test_write_preference_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        writer_waiting = threading.Event()
+        order = []
+
+        def writer():
+            writer_waiting.set()
+            with lock.write_locked():
+                order.append("writer")
+
+        def late_reader():
+            with lock.read_locked():
+                order.append("reader")
+
+        w = threading.Thread(target=writer)
+        w.start()
+        writer_waiting.wait(timeout=5)
+        time.sleep(0.05)  # let the writer actually block on the lock
+        r = threading.Thread(target=late_reader)
+        r.start()
+        time.sleep(0.05)
+        lock.release_read()
+        w.join(timeout=5)
+        r.join(timeout=5)
+        assert order[0] == "writer"  # the late reader queued behind the writer
+
+    def test_unbalanced_release_raises(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class TestResultCache:
+    def test_hit_miss_and_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put(("a", 0), 1)
+        cache.put(("b", 0), 2)
+        assert cache.get(("a", 0)) == (True, 1)  # refreshes 'a'
+        cache.put(("c", 0), 3)  # evicts 'b', the LRU entry
+        assert cache.get(("b", 0)) == (False, None)
+        assert cache.get(("a", 0)) == (True, 1)
+        assert cache.get(("c", 0)) == (True, 3)
+        assert cache.evictions == 1
+        assert cache.hits == 3 and cache.misses == 1
+
+    def test_purge_stale_drops_old_versions_only(self):
+        cache = ResultCache(capacity=8)
+        cache.put((10, 2, 0), "v0")
+        cache.put((10, 2, 1), "v1")
+        cache.put((50, 3, 1), "v1b")
+        assert cache.purge_stale(1) == 1
+        assert cache.get((10, 2, 0)) == (False, None)
+        assert cache.get((10, 2, 1)) == (True, "v1")
+        assert cache.get((50, 3, 1)) == (True, "v1b")
+
+    def test_hit_rate(self):
+        cache = ResultCache(capacity=2)
+        assert cache.hit_rate == 0.0
+        cache.put("x", 1)
+        cache.get("x")
+        cache.get("y")
+        assert cache.hit_rate == 0.5
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 0.0) == 1
+        assert percentile(samples, 1.0) == 100
+        assert percentile(samples, 0.5) == 51  # nearest rank on 100 samples
+        assert percentile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            percentile(samples, 1.5)
+
+    def test_timed_records_errors_and_latency(self):
+        registry = MetricsRegistry()
+        with registry.timed("op"):
+            pass
+        with pytest.raises(RuntimeError):
+            with registry.timed("op"):
+                raise RuntimeError("boom")
+        snapshot = registry.snapshot()
+        assert snapshot["endpoints"]["op"]["requests"] == 2
+        assert snapshot["endpoints"]["op"]["errors"] == 1
+        assert snapshot["endpoints"]["op"]["p99_ms"] >= 0
+
+    def test_counters(self):
+        registry = MetricsRegistry()
+        registry.incr("rejected", 3)
+        registry.incr("rejected")
+        assert registry.snapshot()["counters"] == {"rejected": 4}
+
+
+class TestTopKBatcher:
+    def test_single_flight_shares_one_execution(self):
+        calls = []
+        gate = threading.Event()
+
+        def execute(keys):
+            calls.append(sorted(keys))
+            gate.wait(timeout=5)
+            return {key: f"result-{key}" for key in keys}
+
+        batcher = TopKBatcher(execute, window=0.05)
+        results = [None] * 6
+
+        def submit(i):
+            results[i] = batcher.submit((10, 2))
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        time.sleep(0.15)  # everyone lands inside the leader's window
+        gate.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(calls) == 1  # six submits, one execution
+        assert all(value == ("result-(10, 2)", 6) for value in results)
+        assert batcher.stats()["coalesced"] == 5
+
+    def test_distinct_keys_one_pass(self):
+        calls = []
+
+        def execute(keys):
+            calls.append(sorted(keys))
+            return {key: key[0] * key[1] for key in keys}
+
+        batcher = TopKBatcher(execute, window=0.05)
+        out = {}
+
+        def submit(key):
+            out[key] = batcher.submit(key)
+
+        threads = [
+            threading.Thread(target=submit, args=(key,))
+            for key in [(10, 2), (50, 3), (10, 2)]
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert sum(len(keys) for keys in calls) == 2  # two distinct keys total
+        assert out[(10, 2)][0] == 20 and out[(50, 3)][0] == 150
+
+    def test_execute_failure_propagates_to_all_waiters(self):
+        def execute(keys):
+            raise RuntimeError("index on fire")
+
+        batcher = TopKBatcher(execute, window=0.0)
+        with pytest.raises(RuntimeError, match="index on fire"):
+            batcher.submit((10, 2))
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError):
+            TopKBatcher(lambda keys: {}, window=-1)

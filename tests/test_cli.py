@@ -96,6 +96,26 @@ class TestIndexRoundTrip:
         assert q_lines == e_lines[: len(q_lines)]
 
 
+class TestServe:
+    def test_parser_wires_serve_with_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--dataset", "dblp", "--port", "0"]
+        )
+        assert args.func.__name__ == "_cmd_serve"
+        assert args.max_pending == 64
+        assert args.queue_timeout == 2.0
+        assert args.batch_window == 0.002
+        assert args.cache_size == 1024
+
+    def test_bench_accepts_service(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "service"])
+        assert args.experiment == "service"
+
+
 class TestBench:
     def test_table1(self, capsys):
         assert main(["bench", "table1", "--scale", "0.1"]) == 0
