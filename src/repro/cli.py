@@ -6,7 +6,10 @@ Subcommands
 ``topk``         Top-k edge structural diversity search (online / exact).
 ``build-index``  Build an ESDIndex and save it to disk.
 ``query``        Query a saved ESDIndex.
-``serve``        Long-lived query service over a maintained index (TCP/JSON).
+``serve``        Long-lived query service over a maintained index (TCP/JSON);
+                 with ``--data-dir`` it is durable (snapshot + WAL, crash
+                 recovery on restart).
+``fsck``         Validate a ``--data-dir`` offline (checksums, WAL replay).
 ``bench``        Run one of the paper's experiments and print its table.
 """
 
@@ -111,9 +114,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
     from repro.service import ESDServer, ServerConfig
 
-    graph = _load_graph(args)
+    # With a recoverable data dir, the graph flags are only a bootstrap
+    # fallback; without one, they are required as before.
+    graph = None
+    have_snapshot = args.data_dir and os.path.exists(
+        os.path.join(args.data_dir, "snapshot.esd")
+    )
+    if args.dataset or args.graph or not have_snapshot:
+        graph = _load_graph(args)
     server = ESDServer(
         graph,
         ServerConfig(
@@ -123,12 +135,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_timeout=args.queue_timeout,
             batch_window=args.batch_window,
             cache_size=args.cache_size,
+            data_dir=args.data_dir,
+            snapshot_interval=args.snapshot_interval,
+            fsync=not args.no_fsync,
         ),
     )
+    if server.recovery is not None:
+        r = server.recovery
+        mode = "bootstrapped" if r.bootstrapped else "recovered"
+        print(
+            f"esd serve: {mode} data dir {args.data_dir} "
+            f"(snapshot v{r.snapshot_version}, replayed {r.records_replayed} "
+            f"WAL records, version {r.final_version})",
+            flush=True,
+        )
     host, port = server.address
+    live = server.engine.dynamic_index.graph
     print(
         f"esd serve: listening on {host}:{port} "
-        f"(n={graph.n}, m={graph.m}, max_pending={args.max_pending})",
+        f"(n={live.n}, m={live.m}, max_pending={args.max_pending})",
         flush=True,
     )
     try:
@@ -137,6 +162,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("esd serve: interrupted, shutting down", file=sys.stderr)
     finally:
         server.shutdown()
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.persistence.fsck import fsck_data_dir
+
+    report = fsck_data_dir(args.data_dir, deep=args.deep)
+    print(report.render())
+    if not report.ok:
+        return 2
+    if report.warnings:
+        return 1
     return 0
 
 
@@ -237,7 +274,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=1024,
         help="LRU result-cache capacity",
     )
+    p_serve.add_argument(
+        "--data-dir",
+        help="durable snapshot+WAL directory; recovered on restart "
+        "(--graph/--dataset then only bootstraps an empty directory)",
+    )
+    p_serve.add_argument(
+        "--snapshot-interval", type=int, default=1000,
+        help="mutations between snapshot compactions (default 1000)",
+    )
+    p_serve.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip the per-append WAL fsync (faster, may lose the "
+        "final acknowledged mutations on crash)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_fsck = sub.add_parser(
+        "fsck", help="validate a serve --data-dir offline"
+    )
+    p_fsck.add_argument("data_dir", help="data directory to check")
+    p_fsck.add_argument(
+        "--deep", action="store_true",
+        help="also replay the WAL and compare top-k answers against a "
+        "from-scratch index rebuild",
+    )
+    p_fsck.set_defaults(func=_cmd_fsck)
 
     p_bench = sub.add_parser("bench", help="run one paper experiment")
     p_bench.add_argument("experiment", choices=_BENCH_NAMES)

@@ -313,38 +313,56 @@ class ESDIndex:
 
     # -- persistence ---------------------------------------------------------
 
+    #: ``kind`` tag inside the binary container header (see
+    #: :mod:`repro.persistence.format`).
+    _CONTAINER_KIND = "esd-index"
+
     def save(self, path) -> None:
-        """Serialize the index to ``path``.
+        """Serialize the index to ``path`` in the checksummed binary format.
 
-        Stores the per-edge histograms (the compact O(α m) core) and
-        rebuilds the treaps on load -- smaller files and no pickle
-        compatibility risk across library versions.
+        Stores the per-edge histograms (the compact O(α m) core) in one
+        CRC32-guarded container section and rebuilds the treaps on load
+        -- small files, no pickle compatibility risk, and bit rot is
+        detected instead of silently mis-scoring queries.
         """
-        import json
+        from repro.persistence.format import encode_container, encode_json
 
-        payload = {
-            "version": 1,
-            "edges": [
-                [list(edge), sorted(hist.elements())]
-                for edge, hist in sorted(self._sizes.items())
-            ],
-        }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        histograms = [
+            [list(edge), sorted(hist.elements())]
+            for edge, hist in sorted(self._sizes.items())
+        ]
+        data = encode_container(
+            self._CONTAINER_KIND, [(b"HIST", encode_json(histograms))]
+        )
+        with open(path, "wb") as handle:
+            handle.write(data)
 
     @classmethod
     def load(cls, path) -> "ESDIndex":
-        """Load an index previously written by :meth:`save`."""
+        """Load an index previously written by :meth:`save`.
+
+        Reads the binary container format; files from the pre-container
+        era (plain JSON) are still accepted for one release.
+        """
         import json
 
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-        if payload.get("version") != 1:
-            raise ValueError(
-                f"unsupported index file version: {payload.get('version')!r}"
-            )
+        from repro.persistence.format import json_section, read_container
+
+        with open(path, "rb") as handle:
+            head = handle.read(1)
+        if head == b"{":  # legacy JSON index file
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("version") != 1:
+                raise ValueError(
+                    f"unsupported index file version: {payload.get('version')!r}"
+                )
+            histograms = payload["edges"]
+        else:
+            sections = read_container(path, expect_kind=cls._CONTAINER_KIND)
+            histograms = json_section(sections, b"HIST", path)
         return cls.bulk_load(
-            {tuple(edge): sizes for edge, sizes in payload["edges"]}
+            {tuple(edge): sizes for edge, sizes in histograms}
         )
 
     # -- integrity ----------------------------------------------------------

@@ -1,0 +1,55 @@
+"""Durable persistence: snapshots, write-ahead logging, crash recovery.
+
+The modules compose bottom-up:
+
+=============  =========================================================
+``errors``     structured exception taxonomy (corrupt / missing / gap)
+``format``     magic + versioned + per-section-CRC32 container framing
+``snapshot``   one durable image of a :class:`DynamicESDIndex`
+``wal``        append-only mutation log with torn-tail detection
+``store``      :class:`DataDirectory` -- recovery path + compaction
+``faults``     fault injection: crash points and file manglers
+``fsck``       offline data-directory validation (``esd fsck``)
+=============  =========================================================
+
+Durability contract: a mutation is acknowledged only after its WAL
+record is fsynced, so ``load snapshot -> replay WAL tail`` after any
+crash restores every acknowledged mutation; at most the in-flight,
+unacknowledged one is lost (as a torn tail, truncated on recovery).
+Recovery either reproduces the exact state a clean rebuild would give
+or raises a structured error -- it never silently serves wrong scores.
+See ``docs/PERSISTENCE.md``.
+"""
+
+from repro.persistence.errors import (
+    CorruptSnapshotError,
+    CorruptWALError,
+    InjectedCrash,
+    MissingSnapshotError,
+    PersistenceError,
+    RecoveryError,
+)
+from repro.persistence.faults import FaultInjector
+from repro.persistence.fsck import FsckReport, fsck_data_dir
+from repro.persistence.snapshot import read_snapshot, write_snapshot
+from repro.persistence.store import DataDirectory, RecoveryReport
+from repro.persistence.wal import WALRecord, WriteAheadLog, scan_wal
+
+__all__ = [
+    "PersistenceError",
+    "CorruptSnapshotError",
+    "CorruptWALError",
+    "MissingSnapshotError",
+    "RecoveryError",
+    "InjectedCrash",
+    "FaultInjector",
+    "DataDirectory",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "WALRecord",
+    "scan_wal",
+    "read_snapshot",
+    "write_snapshot",
+    "fsck_data_dir",
+    "FsckReport",
+]

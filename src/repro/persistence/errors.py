@@ -1,0 +1,78 @@
+"""Structured error types for the durability layer.
+
+Every failure mode recovery can hit maps to one exception class, and
+every instance carries a machine-readable ``details`` dict alongside the
+human message.  The contract (tested by the crash-recovery suite) is:
+recovery either restores a state identical to a clean rebuild, or raises
+one of these -- it never silently serves wrong scores.
+
+``InjectedCrash`` deliberately subclasses :class:`BaseException` so that
+fault-injection "crashes" tear through ``except Exception`` handlers the
+same way a real ``kill -9`` would skip them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class PersistenceError(Exception):
+    """Base class: a message plus structured ``details``."""
+
+    def __init__(self, message: str, **details: Any) -> None:
+        super().__init__(message)
+        self.message = message
+        self.details: Dict[str, Any] = details
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, used by ``esd fsck`` reports."""
+        return {
+            "error": type(self).__name__,
+            "message": self.message,
+            "details": self.details,
+        }
+
+    def __str__(self) -> str:
+        if not self.details:
+            return self.message
+        extras = ", ".join(f"{k}={v!r}" for k, v in sorted(self.details.items()))
+        return f"{self.message} ({extras})"
+
+
+class CorruptSnapshotError(PersistenceError):
+    """A snapshot file failed magic/version/CRC/structure validation."""
+
+
+class CorruptWALError(PersistenceError):
+    """A WAL record that is fully present failed its checksum or parse.
+
+    Distinct from a *torn tail* (the file ends mid-record), which is the
+    expected signature of a crash during append and is tolerated: the
+    tail is truncated and reported, never an exception.
+    """
+
+
+class MissingSnapshotError(PersistenceError):
+    """The data directory has no snapshot and no bootstrap graph was given."""
+
+
+class RecoveryError(PersistenceError):
+    """Snapshot and WAL are individually valid but mutually inconsistent.
+
+    Examples: a version gap between the snapshot and the first WAL record
+    to replay, or a WAL record whose precondition does not hold against
+    the recovered graph (inserting an edge that is already present).
+    """
+
+
+class InjectedCrash(BaseException):
+    """A simulated ``kill -9`` raised by a :class:`~repro.persistence.faults.FaultInjector`.
+
+    BaseException on purpose: production code that catches ``Exception``
+    must not be able to swallow an injected crash, otherwise the fault
+    tests would exercise a code path no real crash takes.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point

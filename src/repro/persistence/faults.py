@@ -1,0 +1,147 @@
+"""Deliberate fault injection for the durability layer.
+
+Two complementary toolkits live here:
+
+* :class:`FaultInjector` -- *in-process crash simulation*.  Production
+  code calls ``injector.check("point")`` at named checkpoints; a test
+  arms a point and the next pass through it raises
+  :class:`~repro.persistence.errors.InjectedCrash` (a ``BaseException``,
+  so nothing short of the test harness catches it -- like ``kill -9``
+  landing between two syscalls).  Checkpoints currently wired in:
+
+  ========================  =========================================
+  ``wal.append.before``     crash before any bytes of a record land
+  ``wal.append.partial``    half a record lands, then crash (torn)
+  ``wal.append.after``      record durable, mutation never applied
+  ``snapshot.after_tmp``    temp snapshot written, not yet renamed
+  ``snapshot.after_replace``  snapshot renamed, WAL not yet compacted
+  ========================  =========================================
+
+* File manglers -- *post-hoc byte surgery* on real files, for the fault
+  modes a crash cannot produce (bit rot, partial page loss): tearing a
+  WAL tail, flipping payload bytes so CRCs fail.
+
+Both exist so the crash-recovery tests exercise the same code paths a
+real failure would, not mocks of them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Set
+
+from repro.persistence import wal as wal_format
+from repro.persistence.errors import InjectedCrash
+
+__all__ = [
+    "FaultInjector",
+    "InjectedCrash",
+    "tear_wal_tail",
+    "flip_byte",
+    "corrupt_wal_record",
+    "corrupt_snapshot_section",
+]
+
+
+class FaultInjector:
+    """Named crash points, armed per test, observed in production code."""
+
+    def __init__(self) -> None:
+        self._armed: Set[str] = set()
+        self.visited: List[str] = []
+
+    def crash_at(self, point: str) -> "FaultInjector":
+        """Arm ``point``; the next :meth:`check` there raises. Chainable."""
+        self._armed.add(point)
+        return self
+
+    def disarm(self, point: str) -> None:
+        self._armed.discard(point)
+
+    def armed(self, point: str) -> bool:
+        return point in self._armed
+
+    def check(self, point: str) -> None:
+        """Record the visit; crash if the point is armed (one-shot)."""
+        self.visited.append(point)
+        if point in self._armed:
+            self._armed.discard(point)
+            raise InjectedCrash(point)
+
+
+# -- file manglers ----------------------------------------------------------
+
+
+def tear_wal_tail(path, keep_fraction: float = 0.5) -> int:
+    """Truncate the final WAL record mid-payload; returns bytes removed.
+
+    Produces exactly the on-disk state of a crash during the last
+    append.  Raises ``ValueError`` if the log holds no records.
+    """
+    report = wal_format.scan_wal(path)
+    if not report.records:
+        raise ValueError(f"WAL at {path} has no records to tear")
+    size = os.path.getsize(path)
+    last_record = report.records[-1].encode()
+    record_start = size - len(last_record)
+    keep = record_start + max(1, int(len(last_record) * keep_fraction))
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return size - keep
+
+
+def flip_byte(path, offset: int) -> None:
+    """XOR one byte of ``path`` at ``offset`` (negative = from the end)."""
+    with open(path, "r+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if offset < 0:
+            offset += size
+        if not 0 <= offset < size:
+            raise ValueError(f"offset {offset} outside file of {size} bytes")
+        handle.seek(offset)
+        original = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([original[0] ^ 0xFF]))
+
+
+def corrupt_wal_record(path, index: int = -1) -> None:
+    """Flip a payload byte of one *fully written* record (CRC will fail)."""
+    report = wal_format.scan_wal(path)
+    if not report.records:
+        raise ValueError(f"WAL at {path} has no records to corrupt")
+    records = report.records
+    if index < 0:
+        index += len(records)
+    if not 0 <= index < len(records):
+        raise ValueError(f"record index {index} out of range")
+    # Walk the framing to the target record's payload.
+    offset = wal_format._HEADER.size
+    with open(path, "rb") as handle:
+        data = handle.read()
+    for i in range(len(records)):
+        length, _crc = wal_format._RECORD.unpack_from(data, offset)
+        payload_at = offset + wal_format._RECORD.size
+        if i == index:
+            flip_byte(path, payload_at)
+            return
+        offset = payload_at + length
+
+
+def corrupt_snapshot_section(path, tag: bytes) -> None:
+    """Flip the first payload byte of section ``tag`` in a container file."""
+    from repro.persistence import format as container
+
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offset = container._HEADER.size
+    while offset < len(data):
+        sec_tag, length, _crc = container._SECTION.unpack_from(data, offset)
+        payload_at = offset + container._SECTION.size
+        if sec_tag == tag:
+            if length == 0:
+                raise ValueError(f"section {tag!r} is empty")
+            flip_byte(path, payload_at)
+            return
+        offset = payload_at + length
+    raise ValueError(f"no section {tag!r} in {path}")

@@ -1,0 +1,194 @@
+"""The on-disk container format: magic header + checksummed sections.
+
+Every durable artifact (index files, data-directory snapshots) shares
+one framing so a single validator covers them all::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------------
+    0       8     magic  b"ESDBIN\\r\\n"  (the \\r\\n catches text-mode
+                  transfer mangling, PNG-style)
+    8       4     container format version, big-endian u32
+    then, repeated until EOF, one *section* per logical payload:
+    +0      4     section tag, 4 ASCII bytes (e.g. b"META")
+    +4      8     payload length in bytes, big-endian u64
+    +12     4     CRC32 of the payload, big-endian u32
+    +16     len   payload bytes
+
+The first section of every container must be ``META``: a canonical JSON
+object carrying at least ``{"kind": ...}`` so readers can reject a file
+of the wrong kind with a precise error instead of a section mismatch.
+
+Payloads are canonical JSON (sorted keys, compact separators, UTF-8) so
+that identical logical state always produces identical bytes -- the
+golden-file test relies on this determinism, and any format change must
+come with a :data:`FORMAT_VERSION` bump.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Dict, List, Tuple
+
+from repro.persistence.errors import CorruptSnapshotError
+
+MAGIC = b"ESDBIN\r\n"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct(">8sI")
+_SECTION = struct.Struct(">4sQI")
+
+META_TAG = b"META"
+
+
+def encode_json(obj: Any) -> bytes:
+    """Canonical JSON bytes: sorted keys, no whitespace, UTF-8."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
+def crc32(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def encode_container(kind: str, sections: List[Tuple[bytes, bytes]]) -> bytes:
+    """Serialize ``sections`` (ordered ``(tag, payload)`` pairs) to bytes.
+
+    A ``META`` section with ``{"kind": kind, "sections": [...]}`` is
+    prepended automatically; it names the remaining tags in order so a
+    truncated file is detectable even when the cut falls exactly on a
+    section boundary.
+    """
+    for tag, _ in sections:
+        if len(tag) != 4:
+            raise ValueError(f"section tag must be 4 bytes, got {tag!r}")
+        if tag == META_TAG:
+            raise ValueError("META is written automatically")
+    meta = encode_json(
+        {
+            "kind": kind,
+            "format_version": FORMAT_VERSION,
+            "sections": [tag.decode("ascii") for tag, _ in sections],
+        }
+    )
+    out = [_HEADER.pack(MAGIC, FORMAT_VERSION)]
+    for tag, payload in [(META_TAG, meta)] + list(sections):
+        out.append(_SECTION.pack(tag, len(payload), crc32(payload)))
+        out.append(payload)
+    return b"".join(out)
+
+
+def decode_container(
+    data: bytes, *, expect_kind: str, path: Any = None
+) -> Dict[bytes, bytes]:
+    """Parse and fully validate a container; return ``{tag: payload}``.
+
+    Raises :class:`CorruptSnapshotError` (with structured details) on bad
+    magic, unsupported version, truncation, checksum mismatch, duplicate
+    or missing sections, or a ``kind`` other than ``expect_kind``.
+    """
+    where = {"path": str(path)} if path is not None else {}
+    if len(data) < _HEADER.size:
+        raise CorruptSnapshotError(
+            "file too short for container header", size=len(data), **where
+        )
+    magic, version = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise CorruptSnapshotError(
+            "bad magic bytes", expected=MAGIC.hex(), actual=magic.hex(), **where
+        )
+    if version != FORMAT_VERSION:
+        raise CorruptSnapshotError(
+            "unsupported container format version",
+            supported=FORMAT_VERSION,
+            actual=version,
+            **where,
+        )
+    sections: Dict[bytes, bytes] = {}
+    offset = _HEADER.size
+    while offset < len(data):
+        if offset + _SECTION.size > len(data):
+            raise CorruptSnapshotError(
+                "truncated section header", offset=offset, **where
+            )
+        tag, length, expected_crc = _SECTION.unpack_from(data, offset)
+        offset += _SECTION.size
+        payload = data[offset : offset + length]
+        if len(payload) != length:
+            raise CorruptSnapshotError(
+                "truncated section payload",
+                section=tag.decode("ascii", "replace"),
+                expected_bytes=length,
+                actual_bytes=len(payload),
+                **where,
+            )
+        actual_crc = crc32(payload)
+        if actual_crc != expected_crc:
+            raise CorruptSnapshotError(
+                "section checksum mismatch",
+                section=tag.decode("ascii", "replace"),
+                expected_crc=f"{expected_crc:08x}",
+                actual_crc=f"{actual_crc:08x}",
+                **where,
+            )
+        if tag in sections:
+            raise CorruptSnapshotError(
+                "duplicate section", section=tag.decode("ascii", "replace"), **where
+            )
+        sections[tag] = payload
+        offset += length
+
+    if META_TAG not in sections:
+        raise CorruptSnapshotError("missing META section", **where)
+    try:
+        meta = json.loads(sections[META_TAG])
+    except ValueError as exc:
+        raise CorruptSnapshotError(
+            "META section is not valid JSON", reason=str(exc), **where
+        ) from None
+    if not isinstance(meta, dict) or meta.get("kind") != expect_kind:
+        raise CorruptSnapshotError(
+            "container kind mismatch",
+            expected=expect_kind,
+            actual=meta.get("kind") if isinstance(meta, dict) else None,
+            **where,
+        )
+    declared = meta.get("sections", [])
+    present = [t.decode("ascii", "replace") for t in sections if t != META_TAG]
+    if sorted(declared) != sorted(present):
+        raise CorruptSnapshotError(
+            "declared sections do not match file contents",
+            declared=declared,
+            present=present,
+            **where,
+        )
+    return sections
+
+
+def read_container(path, *, expect_kind: str) -> Dict[bytes, bytes]:
+    """Read and validate a container file (see :func:`decode_container`)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return decode_container(data, expect_kind=expect_kind, path=path)
+
+
+def json_section(sections: Dict[bytes, bytes], tag: bytes, path=None) -> Any:
+    """Decode one section's payload as JSON with a structured error."""
+    where = {"path": str(path)} if path is not None else {}
+    if tag not in sections:
+        raise CorruptSnapshotError(
+            "missing required section",
+            section=tag.decode("ascii", "replace"),
+            **where,
+        )
+    try:
+        return json.loads(sections[tag])
+    except ValueError as exc:
+        raise CorruptSnapshotError(
+            "section payload is not valid JSON",
+            section=tag.decode("ascii", "replace"),
+            reason=str(exc),
+            **where,
+        ) from None

@@ -1,0 +1,199 @@
+"""Offline validation of a data directory (``esd fsck``).
+
+Shallow checks (always run) validate what can be validated without
+rebuilding anything: container framing, per-section CRCs, snapshot
+cross-consistency, WAL framing/checksums, and the version contiguity
+between snapshot and WAL.  A torn WAL tail is a *warning* (recovery
+handles it by design); everything else wrong is an *error*.
+
+``deep=True`` additionally performs a full dress rehearsal of recovery:
+restore the index, replay the WAL, run the paper-level invariant checker
+(:meth:`DynamicESDIndex.check_invariants`), and compare top-k answers
+against a from-scratch :func:`build_index_fast` rebuild of the recovered
+graph across several ``(k, τ)`` pairs -- the same oracle the
+property-based differential harness uses.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.persistence.errors import PersistenceError, RecoveryError
+from repro.persistence.snapshot import read_snapshot
+from repro.persistence.store import SNAPSHOT_NAME, WAL_NAME, replay_records
+from repro.persistence.wal import scan_wal
+
+#: ``(k, τ)`` pairs the deep check compares against a fresh rebuild.
+DEEP_CHECK_QUERIES = ((1, 1), (5, 1), (10, 2), (3, 3), (25, 4))
+
+
+@dataclass
+class FsckIssue:
+    severity: str  #: "error" or "warning"
+    code: str
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+@dataclass
+class FsckReport:
+    path: str
+    issues: List[FsckIssue] = field(default_factory=list)
+    snapshot_version: Optional[int] = None
+    wal_records: int = 0
+    replayable_records: int = 0
+    final_version: Optional[int] = None
+    deep_checked: bool = False
+
+    @property
+    def errors(self) -> List[FsckIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> List[FsckIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def add(self, severity: str, code: str, message: str, **details) -> None:
+        self.issues.append(FsckIssue(severity, code, message, details))
+
+    def render(self) -> str:
+        lines = [f"fsck {self.path}"]
+        lines.append(
+            f"  snapshot: version={self.snapshot_version} "
+            f"wal_records={self.wal_records} "
+            f"replayable={self.replayable_records}"
+        )
+        if self.final_version is not None:
+            lines.append(f"  recovered version: {self.final_version}")
+        for issue in self.issues:
+            lines.append("  " + issue.render())
+        verdict = "clean" if self.ok else "CORRUPT"
+        if self.ok and self.warnings:
+            verdict = "clean (with warnings)"
+        if self.deep_checked and self.ok:
+            verdict += ", deep check passed"
+        lines.append(f"  verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def fsck_data_dir(path, *, deep: bool = False) -> FsckReport:
+    """Validate a data directory; never raises for findable problems."""
+    report = FsckReport(path=str(path))
+    if not os.path.isdir(path):
+        report.add("error", "no_data_dir", f"not a directory: {path}")
+        return report
+    snapshot_path = os.path.join(path, SNAPSHOT_NAME)
+    wal_path = os.path.join(path, WAL_NAME)
+
+    state = None
+    if not os.path.exists(snapshot_path):
+        report.add(
+            "error", "missing_snapshot", "no snapshot.esd in data directory"
+        )
+    else:
+        try:
+            state = read_snapshot(snapshot_path)
+            report.snapshot_version = state["graph_version"]
+        except PersistenceError as exc:
+            report.add(
+                "error", "corrupt_snapshot", exc.message, **exc.details
+            )
+
+    scan = None
+    if not os.path.exists(wal_path):
+        report.add(
+            "warning", "missing_wal", "no wal.log (clean if just snapshotted)"
+        )
+    else:
+        try:
+            scan = scan_wal(wal_path)
+            report.wal_records = len(scan.records)
+            if scan.torn:
+                report.add(
+                    "warning",
+                    "torn_wal_tail",
+                    "WAL ends mid-record (crash during append); recovery "
+                    "will truncate it",
+                    torn_bytes=scan.torn_tail_bytes,
+                )
+        except PersistenceError as exc:
+            report.add("error", "corrupt_wal", exc.message, **exc.details)
+
+    if state is not None and scan is not None:
+        snap_version = state["graph_version"]
+        expected = snap_version + 1
+        replayable = 0
+        for record in scan.records:
+            if record.version <= snap_version:
+                if replayable:
+                    report.add(
+                        "error",
+                        "wal_version_regression",
+                        "record version went backwards mid-log",
+                        record_version=record.version,
+                    )
+                    break
+                continue
+            if record.version != expected:
+                report.add(
+                    "error",
+                    "wal_version_gap",
+                    "WAL does not continue contiguously from the snapshot",
+                    expected=expected,
+                    record_version=record.version,
+                )
+                break
+            expected += 1
+            replayable += 1
+        report.replayable_records = replayable
+
+    if deep and report.ok and state is not None:
+        _deep_check(report, state, scan)
+    return report
+
+
+def _deep_check(report: FsckReport, state, scan) -> None:
+    """Rebuild-and-compare: the strongest (and slowest) verification."""
+    from repro.core.build import build_index_fast
+    from repro.core.maintenance import DynamicESDIndex
+
+    try:
+        dyn = DynamicESDIndex.from_state(state)
+        if scan is not None:
+            replay_records(dyn, scan.records)
+        report.final_version = dyn.graph_version
+        dyn.check_invariants()
+    except RecoveryError as exc:
+        report.add("error", "replay_failed", exc.message, **exc.details)
+        return
+    except AssertionError as exc:
+        report.add(
+            "error",
+            "invariant_violation",
+            f"recovered index failed invariant checks: {exc}",
+        )
+        return
+    fresh = build_index_fast(dyn.graph)
+    for k, tau in DEEP_CHECK_QUERIES:
+        recovered = dyn.topk(k, tau)
+        rebuilt = fresh.topk(k, tau)
+        if recovered != rebuilt:
+            report.add(
+                "error",
+                "topk_mismatch",
+                "recovered index disagrees with a fresh rebuild",
+                k=k,
+                tau=tau,
+                recovered=recovered[:5],
+                rebuilt=rebuilt[:5],
+            )
+    report.deep_checked = True

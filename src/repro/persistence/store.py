@@ -1,0 +1,274 @@
+"""The data directory: snapshot + WAL + the recovery path that joins them.
+
+Layout of ``--data-dir``::
+
+    snapshot.esd       latest durable snapshot (atomic tmp+rename)
+    snapshot.esd.tmp   in-flight snapshot write (ignored by recovery)
+    wal.log            mutations since (and possibly before) the snapshot
+
+Recovery (`DataDirectory.open`) is ``load snapshot -> replay WAL tail ->
+verify graph_version``:
+
+1. read + validate the snapshot, restore the
+   :class:`~repro.core.maintenance.DynamicESDIndex` without rebuilding;
+2. scan the WAL; records with ``ver <= snapshot_version`` predate the
+   snapshot (a crash between snapshot rename and WAL compaction leaves
+   them behind) and are skipped; the rest must be contiguous,
+   ``ver == current + 1`` each, and applicable -- anything else raises
+   :class:`~repro.persistence.errors.RecoveryError`;
+3. after each applied record the live ``graph_version`` must equal the
+   record's ``ver`` (self-verifying replay);
+4. a torn WAL tail is truncated and reported -- at most the final
+   unacknowledged mutation is lost, never an acknowledged one (appends
+   fsync before the mutation is applied or acked).
+
+Compaction: ``maybe_compact``/``compact`` write a fresh snapshot
+atomically *first*, then reset the WAL.  A crash between the two steps
+is safe by construction (step 2 above skips the stale records).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.maintenance import DynamicESDIndex
+from repro.graph.graph import Graph
+from repro.persistence.errors import (
+    MissingSnapshotError,
+    RecoveryError,
+)
+from repro.persistence.faults import FaultInjector
+from repro.persistence.snapshot import read_snapshot, encode_snapshot
+from repro.persistence.wal import WriteAheadLog, scan_wal, truncate_torn_tail
+
+SNAPSHOT_NAME = "snapshot.esd"
+SNAPSHOT_TMP_NAME = "snapshot.esd.tmp"
+WAL_NAME = "wal.log"
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`DataDirectory.open` did, for logs and assertions."""
+
+    bootstrapped: bool = False
+    snapshot_version: int = 0
+    records_replayed: int = 0
+    records_skipped: int = 0  #: pre-snapshot records left by a crash
+    torn_tail_truncated_bytes: int = 0
+    final_version: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bootstrapped": self.bootstrapped,
+            "snapshot_version": self.snapshot_version,
+            "records_replayed": self.records_replayed,
+            "records_skipped": self.records_skipped,
+            "torn_tail_truncated_bytes": self.torn_tail_truncated_bytes,
+            "final_version": self.final_version,
+            "notes": list(self.notes),
+        }
+
+
+def replay_records(dyn: DynamicESDIndex, records, *, wal_path=None) -> Tuple[int, int]:
+    """Apply a scanned record sequence to ``dyn``; return (replayed, skipped).
+
+    Shared by recovery and ``fsck --deep``.  Raises
+    :class:`RecoveryError` on version gaps, inapplicable mutations, or a
+    post-apply version mismatch.
+    """
+    where = {"wal": str(wal_path)} if wal_path is not None else {}
+    replayed = skipped = 0
+    for record in records:
+        if record.version <= dyn.graph_version:
+            if replayed:
+                raise RecoveryError(
+                    "WAL version went backwards mid-replay",
+                    record_version=record.version,
+                    live_version=dyn.graph_version,
+                    **where,
+                )
+            skipped += 1
+            continue
+        if record.version != dyn.graph_version + 1:
+            raise RecoveryError(
+                "version gap between snapshot and WAL",
+                expected=dyn.graph_version + 1,
+                record_version=record.version,
+                **where,
+            )
+        try:
+            if record.op == "insert":
+                dyn.insert_edge(record.u, record.v)
+            else:
+                dyn.delete_edge(record.u, record.v)
+        except (ValueError, KeyError) as exc:
+            raise RecoveryError(
+                "WAL record not applicable to recovered state",
+                op=record.op,
+                edge=[record.u, record.v],
+                record_version=record.version,
+                reason=str(exc),
+                **where,
+            ) from None
+        if dyn.graph_version != record.version:
+            raise RecoveryError(
+                "graph_version diverged from WAL during replay",
+                expected=record.version,
+                actual=dyn.graph_version,
+                **where,
+            )
+        replayed += 1
+    return replayed, skipped
+
+
+class DataDirectory:
+    """Owns one data directory's files and its open WAL appender."""
+
+    def __init__(
+        self,
+        path,
+        *,
+        fsync: bool = True,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.path = str(path)
+        self._fsync = fsync
+        self.faults = faults
+        self.wal: Optional[WriteAheadLog] = None
+        self.snapshots_written = 0
+        self.last_snapshot_version = 0
+        os.makedirs(self.path, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.path, SNAPSHOT_NAME)
+
+    @property
+    def snapshot_tmp_path(self) -> str:
+        return os.path.join(self.path, SNAPSHOT_TMP_NAME)
+
+    @property
+    def wal_path(self) -> str:
+        return os.path.join(self.path, WAL_NAME)
+
+    def has_snapshot(self) -> bool:
+        return os.path.exists(self.snapshot_path)
+
+    # -- recovery ------------------------------------------------------------
+
+    def open(
+        self, bootstrap_graph: Optional[Graph] = None
+    ) -> Tuple[DynamicESDIndex, RecoveryReport]:
+        """Recover (or bootstrap) the index and open the WAL for appends."""
+        report = RecoveryReport()
+        if not self.has_snapshot():
+            leftover = scan_wal(self.wal_path)
+            if leftover.records:
+                raise RecoveryError(
+                    "WAL present but snapshot missing; refusing to guess "
+                    "the base state",
+                    wal_records=len(leftover.records),
+                    path=self.path,
+                )
+            if bootstrap_graph is None:
+                raise MissingSnapshotError(
+                    "data directory has no snapshot and no bootstrap "
+                    "graph was provided",
+                    path=self.path,
+                )
+            dyn = DynamicESDIndex(bootstrap_graph)
+            self.write_snapshot(dyn)
+            report.bootstrapped = True
+            report.notes.append("bootstrapped from provided graph")
+        else:
+            state = read_snapshot(self.snapshot_path)
+            dyn = DynamicESDIndex.from_state(state)
+            report.snapshot_version = state["graph_version"]
+            self.last_snapshot_version = state["graph_version"]
+            scan = scan_wal(self.wal_path)
+            if scan.torn:
+                report.torn_tail_truncated_bytes = truncate_torn_tail(
+                    self.wal_path, scan
+                )
+                report.notes.append(
+                    f"truncated torn WAL tail "
+                    f"({report.torn_tail_truncated_bytes} bytes)"
+                )
+            replayed, skipped = replay_records(
+                dyn, scan.records, wal_path=self.wal_path
+            )
+            report.records_replayed = replayed
+            report.records_skipped = skipped
+        # Clean up an interrupted snapshot write, if any.
+        if os.path.exists(self.snapshot_tmp_path):
+            os.remove(self.snapshot_tmp_path)
+            report.notes.append("removed stale snapshot temp file")
+        self.wal = WriteAheadLog(
+            self.wal_path, fsync=self._fsync, faults=self.faults
+        )
+        report.final_version = dyn.graph_version
+        return dyn, report
+
+    # -- durability operations -------------------------------------------------
+
+    def append_wal(self, op: str, u, v, version: int) -> None:
+        """Durably log a mutation *before* it is applied to the index."""
+        if self.wal is None:
+            raise RuntimeError("DataDirectory is not open")
+        self.wal.append(op, u, v, version)
+
+    def write_snapshot(self, dyn: DynamicESDIndex) -> int:
+        """Atomically replace the snapshot with the current state."""
+        data = encode_snapshot(dyn.export_state())
+        with open(self.snapshot_tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        if self.faults is not None:
+            self.faults.check("snapshot.after_tmp")
+        os.replace(self.snapshot_tmp_path, self.snapshot_path)
+        if self._fsync:
+            dir_fd = os.open(self.path, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        if self.faults is not None:
+            self.faults.check("snapshot.after_replace")
+        self.snapshots_written += 1
+        self.last_snapshot_version = dyn.graph_version
+        return len(data)
+
+    def compact(self, dyn: DynamicESDIndex) -> int:
+        """Snapshot the current state, then truncate the WAL."""
+        size = self.write_snapshot(dyn)
+        if self.wal is not None:
+            self.wal.reset()
+        return size
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "snapshots_written": self.snapshots_written,
+            "last_snapshot_version": self.last_snapshot_version,
+            "wal_appends": self.wal.appended if self.wal else 0,
+            "wal_bytes": self.wal.size_bytes() if self.wal else 0,
+            "fsync": self._fsync,
+        }
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+
+    def __enter__(self) -> "DataDirectory":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

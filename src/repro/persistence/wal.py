@@ -1,0 +1,248 @@
+"""Append-only write-ahead log of edge mutations.
+
+File layout::
+
+    offset  size  field
+    ------  ----  ------------------------------------------
+    0       8     magic b"ESDWALOG"
+    8       4     WAL format version, big-endian u32
+    then, per record:
+    +0      4     payload length, big-endian u32
+    +4      4     CRC32 of the payload, big-endian u32
+    +8      len   payload: canonical JSON
+                  {"op": "insert"|"delete", "u":..., "v":..., "ver": n}
+
+``ver`` is the :attr:`~repro.core.maintenance.DynamicESDIndex.graph_version`
+the mutation *produces*, which makes replay self-verifying: after
+applying a record the live version must equal ``ver`` exactly.
+
+Failure taxonomy (the distinction the whole recovery design hangs on):
+
+* **torn tail** -- the file ends mid-record.  This is the expected
+  debris of a crash during ``append`` and is *not* an error: the scan
+  reports the last good offset so recovery can truncate and continue.
+  Only the final, unacknowledged mutation can be lost.
+* **corruption** -- a record is fully present but its checksum or JSON
+  fails.  That means bytes changed after a successful write (bit rot,
+  bad disk, tampering); trusting anything after it would be guessing,
+  so the scan raises :class:`CorruptWALError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.persistence.errors import CorruptWALError
+
+MAGIC = b"ESDWALOG"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct(">8sI")
+_RECORD = struct.Struct(">II")
+
+#: Upper bound on one record's payload; a length beyond this cannot come
+#: from :meth:`WriteAheadLog.append` and is classified as corruption.
+MAX_RECORD_BYTES = 1 << 20
+
+VALID_OPS = ("insert", "delete")
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One logged mutation."""
+
+    op: str
+    u: Any
+    v: Any
+    version: int
+
+    def encode(self) -> bytes:
+        payload = json.dumps(
+            {"op": self.op, "u": self.u, "v": self.v, "ver": self.version},
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+        ).encode("ascii")
+        return _RECORD.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+@dataclass
+class WALScanReport:
+    """Outcome of scanning a WAL file."""
+
+    records: List[WALRecord] = field(default_factory=list)
+    valid_bytes: int = 0  #: offset just past the last intact record
+    torn_tail_bytes: int = 0  #: trailing bytes belonging to a torn record
+
+    @property
+    def torn(self) -> bool:
+        return self.torn_tail_bytes > 0
+
+
+def _parse_payload(payload: bytes, offset: int, path) -> WALRecord:
+    try:
+        obj = json.loads(payload)
+    except ValueError as exc:
+        raise CorruptWALError(
+            "WAL record payload is not valid JSON",
+            offset=offset, reason=str(exc), path=str(path),
+        ) from None
+    if (
+        not isinstance(obj, dict)
+        or obj.get("op") not in VALID_OPS
+        or "u" not in obj
+        or "v" not in obj
+        or not isinstance(obj.get("ver"), int)
+    ):
+        raise CorruptWALError(
+            "WAL record payload has invalid shape",
+            offset=offset, payload=obj, path=str(path),
+        )
+    return WALRecord(op=obj["op"], u=obj["u"], v=obj["v"], version=obj["ver"])
+
+
+def scan_wal(path) -> WALScanReport:
+    """Read every intact record; detect a torn tail; raise on corruption.
+
+    Raises :class:`CorruptWALError` for a bad header or any fully-present
+    record that fails validation.  A missing file scans as empty.
+    """
+    report = WALScanReport()
+    if not os.path.exists(path):
+        return report
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data:
+        return report
+    if len(data) < _HEADER.size:
+        # Even the header did not make it to disk: torn at file birth.
+        report.torn_tail_bytes = len(data)
+        return report
+    magic, version = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise CorruptWALError(
+            "bad WAL magic", expected=MAGIC.hex(), actual=magic.hex(),
+            path=str(path),
+        )
+    if version != FORMAT_VERSION:
+        raise CorruptWALError(
+            "unsupported WAL format version",
+            supported=FORMAT_VERSION, actual=version, path=str(path),
+        )
+    offset = _HEADER.size
+    report.valid_bytes = offset
+    while offset < len(data):
+        if offset + _RECORD.size > len(data):
+            report.torn_tail_bytes = len(data) - offset
+            break
+        length, expected_crc = _RECORD.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            raise CorruptWALError(
+                "WAL record length is implausible",
+                offset=offset, length=length, path=str(path),
+            )
+        start = offset + _RECORD.size
+        payload = data[start : start + length]
+        if len(payload) < length:
+            report.torn_tail_bytes = len(data) - offset
+            break
+        actual_crc = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual_crc != expected_crc:
+            raise CorruptWALError(
+                "WAL record checksum mismatch",
+                offset=offset,
+                expected_crc=f"{expected_crc:08x}",
+                actual_crc=f"{actual_crc:08x}",
+                path=str(path),
+            )
+        report.records.append(_parse_payload(payload, offset, path))
+        offset = start + length
+        report.valid_bytes = offset
+    return report
+
+
+def truncate_torn_tail(path, report: WALScanReport) -> int:
+    """Chop a torn tail off in place; returns bytes removed."""
+    if not report.torn:
+        return 0
+    with open(path, "r+b") as handle:
+        handle.truncate(report.valid_bytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return report.torn_tail_bytes
+
+
+class WriteAheadLog:
+    """Appender side of the WAL (reading goes through :func:`scan_wal`).
+
+    ``fsync=True`` (the default) makes every acknowledged mutation
+    durable at the cost of one fsync per append; ``fsync=False`` trades
+    the tail of the log for throughput (crash may lose recent acks).
+
+    ``faults`` accepts a :class:`~repro.persistence.faults.FaultInjector`;
+    the append path exposes the crash points ``wal.append.before``,
+    ``wal.append.partial`` (half the record reaches the file -- a real
+    torn write) and ``wal.append.after``.
+    """
+
+    def __init__(self, path, *, fsync: bool = True, faults=None) -> None:
+        self.path = path
+        self._fsync = fsync
+        self._faults = faults
+        self.appended = 0
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._file = open(path, "ab")
+        if fresh:
+            self._file.write(_HEADER.pack(MAGIC, FORMAT_VERSION))
+            self._sync()
+
+    def _sync(self) -> None:
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+
+    def append(self, op: str, u: Any, v: Any, version: int) -> WALRecord:
+        """Durably append one mutation record *before* it is applied."""
+        if op not in VALID_OPS:
+            raise ValueError(f"op must be one of {VALID_OPS}, got {op!r}")
+        record = WALRecord(op=op, u=u, v=v, version=version)
+        encoded = record.encode()
+        if self._faults is not None:
+            self._faults.check("wal.append.before")
+            if self._faults.armed("wal.append.partial"):
+                self._file.write(encoded[: len(encoded) // 2])
+                self._sync()
+                self._faults.check("wal.append.partial")
+        self._file.write(encoded)
+        self._sync()
+        if self._faults is not None:
+            self._faults.check("wal.append.after")
+        self.appended += 1
+        return record
+
+    def reset(self) -> None:
+        """Truncate to a fresh header (post-snapshot compaction)."""
+        self._file.close()
+        self._file = open(self.path, "wb")
+        self._file.write(_HEADER.pack(MAGIC, FORMAT_VERSION))
+        self._sync()
+
+    def size_bytes(self) -> int:
+        self._file.flush()
+        return os.path.getsize(self.path)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._sync()
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

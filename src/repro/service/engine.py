@@ -19,7 +19,14 @@ composes the serving-layer pieces around one
 * **change feeds** -- standing ``(k, τ)`` queries registered via
   :meth:`watch` are :class:`~repro.core.monitor.TopKMonitor` instances
   attached to the shared index and refreshed inside each update's write
-  section.
+  section;
+* **durability** (optional) -- given a
+  :class:`~repro.persistence.store.DataDirectory`, every mutation is
+  appended to the write-ahead log *before* it is applied (under the same
+  exclusive lock, after precondition checks, so a logged record is
+  always applicable on replay), and every ``snapshot_interval``
+  mutations the engine compacts: snapshot atomically, then truncate the
+  WAL.
 
 All public methods return JSON-ready dictionaries (edges as ``[u, v]``
 lists) and raise ``ValueError``/``KeyError`` for domain errors, which the
@@ -34,7 +41,7 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.maintenance import DynamicESDIndex
 from repro.core.monitor import TopKChange, TopKMonitor
-from repro.graph.graph import Graph
+from repro.graph.graph import Graph, canonical_edge
 from repro.service.batcher import TopKBatcher
 from repro.service.cache import ResultCache
 from repro.service.metrics import MetricsRegistry
@@ -68,12 +75,28 @@ class QueryEngine:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         *,
+        dynamic_index: Optional[DynamicESDIndex] = None,
+        store=None,
+        snapshot_interval: int = 1000,
         cache_size: int = 1024,
         batch_window: float = 0.002,
     ) -> None:
-        self._dyn = DynamicESDIndex(graph)
+        if (graph is None) == (dynamic_index is None):
+            raise ValueError(
+                "provide exactly one of graph or dynamic_index"
+            )
+        if snapshot_interval < 1:
+            raise ValueError(
+                f"snapshot_interval must be >= 1, got {snapshot_interval}"
+            )
+        self._dyn = (
+            dynamic_index if dynamic_index is not None else DynamicESDIndex(graph)
+        )
+        self._store = store
+        self._snapshot_interval = snapshot_interval
+        self._since_snapshot = 0
         self._lock = RWLock()
         self._cache = ResultCache(cache_size)
         self._batcher = TopKBatcher(self._run_batch, window=batch_window)
@@ -93,6 +116,27 @@ class QueryEngine:
     def dynamic_index(self) -> DynamicESDIndex:
         """The underlying index (read-only use; mutate via :meth:`update`)."""
         return self._dyn
+
+    @property
+    def store(self):
+        """The attached :class:`DataDirectory`, or ``None`` (in-memory)."""
+        return self._store
+
+    def close(self) -> None:
+        """Flush durability state and release file handles.
+
+        On a *clean* shutdown, mutations that arrived since the last
+        snapshot are compacted into a fresh one so the next start
+        replays nothing.  A crash skips this path by definition -- then
+        recovery replays the WAL tail instead.
+        """
+        if self._store is None:
+            return
+        with self._lock.write_locked():
+            if self._since_snapshot > 0:
+                self._store.compact(self._dyn)
+                self._since_snapshot = 0
+            self._store.close()
 
     def _on_mutation(self, kind: str, edge, version: int) -> None:
         # Runs under the write lock, after the index is consistent again.
@@ -175,6 +219,12 @@ class QueryEngine:
         ``action`` is ``"insert"`` or ``"delete"``.  Registered watches
         are refreshed inside the same write section, so their change
         feeds observe every version exactly once.
+
+        With a persistence store attached, the mutation is WAL-logged
+        *before* being applied (write-ahead).  Preconditions are checked
+        first under the same exclusive lock, so the log never contains a
+        record that would fail on replay; a mutation is only
+        acknowledged after its record is durable.
         """
         if action not in ("insert", "delete"):
             raise ValueError(
@@ -182,10 +232,27 @@ class QueryEngine:
             )
         with self.metrics.timed("update"):
             with self._lock.write_locked():
+                if self._store is not None:
+                    edge = canonical_edge(u, v)  # rejects self-loops early
+                    exists = self._dyn.graph.has_edge(u, v)
+                    if action == "insert" and exists:
+                        raise ValueError(f"edge already in graph: {edge}")
+                    if action == "delete" and not exists:
+                        raise KeyError(f"edge not in graph: {edge}")
+                    self._store.append_wal(
+                        action, u, v, self._dyn.graph_version + 1
+                    )
+                    self.metrics.incr("wal_appends")
                 if action == "insert":
                     stats = self._dyn.insert_edge(u, v)
                 else:
                     stats = self._dyn.delete_edge(u, v)
+                if self._store is not None:
+                    self._since_snapshot += 1
+                    if self._since_snapshot >= self._snapshot_interval:
+                        self._store.compact(self._dyn)
+                        self._since_snapshot = 0
+                        self.metrics.incr("snapshots_written")
                 version = self._dyn.graph_version
                 notified = 0
                 with self._watch_lock:
@@ -264,4 +331,6 @@ class QueryEngine:
         snapshot["batcher"] = self._batcher.stats()
         snapshot["lock"] = self._lock.snapshot()
         snapshot["graph_version"] = self._dyn.graph_version
+        if self._store is not None:
+            snapshot["persistence"] = self._store.stats()
         return snapshot

@@ -39,6 +39,9 @@ class ServerConfig:
     batch_window: float = 0.002  #: topk coalescing window (seconds)
     cache_size: int = 1024  #: LRU result-cache capacity
     debug: bool = False  #: enable the test-only ``sleep`` op
+    data_dir: Optional[str] = None  #: durable snapshot+WAL directory
+    snapshot_interval: int = 1000  #: mutations between WAL compactions
+    fsync: bool = True  #: fsync each WAL append (durable acks)
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -46,6 +49,10 @@ class ServerConfig:
         if self.queue_timeout < 0:
             raise ValueError(
                 f"queue_timeout must be >= 0, got {self.queue_timeout}"
+            )
+        if self.snapshot_interval < 1:
+            raise ValueError(
+                f"snapshot_interval must be >= 1, got {self.snapshot_interval}"
             )
 
 
@@ -82,15 +89,41 @@ class _TCPServer(socketserver.ThreadingTCPServer):
 
 
 class ESDServer:
-    """A long-lived top-k structural diversity query service."""
+    """A long-lived top-k structural diversity query service.
 
-    def __init__(self, graph: Graph, config: Optional[ServerConfig] = None) -> None:
+    With ``config.data_dir`` set, the server is durable: an existing
+    data directory is *recovered* (snapshot + WAL replay; any provided
+    ``graph`` is then only a fallback for an empty directory), and every
+    subsequent mutation is write-ahead logged before it is applied.
+    ``server.recovery`` holds the
+    :class:`~repro.persistence.store.RecoveryReport` of the startup.
+    """
+
+    def __init__(
+        self, graph: Optional[Graph] = None, config: Optional[ServerConfig] = None
+    ) -> None:
         self.config = config or ServerConfig()
-        self.engine = QueryEngine(
-            graph,
-            cache_size=self.config.cache_size,
-            batch_window=self.config.batch_window,
-        )
+        self.recovery = None
+        if self.config.data_dir is not None:
+            from repro.persistence.store import DataDirectory
+
+            store = DataDirectory(self.config.data_dir, fsync=self.config.fsync)
+            dyn, self.recovery = store.open(bootstrap_graph=graph)
+            self.engine = QueryEngine(
+                dynamic_index=dyn,
+                store=store,
+                snapshot_interval=self.config.snapshot_interval,
+                cache_size=self.config.cache_size,
+                batch_window=self.config.batch_window,
+            )
+        else:
+            if graph is None:
+                raise ValueError("a graph is required without a data_dir")
+            self.engine = QueryEngine(
+                graph,
+                cache_size=self.config.cache_size,
+                batch_window=self.config.batch_window,
+            )
         self._admission = threading.Semaphore(self.config.max_pending)
         self._tcp = _TCPServer((self.config.host, self.config.port), self)
         self._thread: Optional[threading.Thread] = None
@@ -118,12 +151,13 @@ class ESDServer:
         return self
 
     def shutdown(self) -> None:
-        """Stop accepting connections and close the listening socket."""
+        """Stop accepting connections, close the socket, flush durability."""
         self._tcp.shutdown()
         self._tcp.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        self.engine.close()
 
     def __enter__(self) -> "ESDServer":
         return self

@@ -1,0 +1,160 @@
+"""Unit tests for the container framing and the WAL record framing."""
+
+import pytest
+
+from repro.persistence import format as container
+from repro.persistence.errors import CorruptSnapshotError, CorruptWALError
+from repro.persistence.faults import corrupt_wal_record, flip_byte, tear_wal_tail
+from repro.persistence.wal import WriteAheadLog, scan_wal, truncate_torn_tail
+
+
+class TestContainer:
+    def test_round_trip(self):
+        data = container.encode_container(
+            "test-kind", [(b"AAAA", b"hello"), (b"BBBB", b"")]
+        )
+        sections = container.decode_container(data, expect_kind="test-kind")
+        assert sections[b"AAAA"] == b"hello"
+        assert sections[b"BBBB"] == b""
+        assert b"META" in sections
+
+    def test_deterministic_bytes(self):
+        one = container.encode_container("k", [(b"DATA", b"x" * 100)])
+        two = container.encode_container("k", [(b"DATA", b"x" * 100)])
+        assert one == two
+
+    def test_bad_magic_rejected(self):
+        data = b"NOTMAGIC" + container.encode_container("k", [])[8:]
+        with pytest.raises(CorruptSnapshotError) as info:
+            container.decode_container(data, expect_kind="k")
+        assert "magic" in str(info.value)
+
+    def test_unsupported_version_rejected(self):
+        data = bytearray(container.encode_container("k", []))
+        data[11] = 99  # last byte of the big-endian u32 version
+        with pytest.raises(CorruptSnapshotError) as info:
+            container.decode_container(bytes(data), expect_kind="k")
+        assert info.value.details["actual"] == 99
+
+    def test_flipped_payload_byte_fails_crc(self):
+        data = bytearray(
+            container.encode_container("k", [(b"DATA", b"payload")])
+        )
+        data[-3] ^= 0xFF
+        with pytest.raises(CorruptSnapshotError) as info:
+            container.decode_container(bytes(data), expect_kind="k")
+        assert "checksum" in str(info.value)
+        assert info.value.details["section"] == "DATA"
+
+    def test_truncation_rejected(self):
+        data = container.encode_container("k", [(b"DATA", b"payload")])
+        for cut in (5, len(data) - 3, len(data) - len(b"payload") - 1):
+            with pytest.raises(CorruptSnapshotError):
+                container.decode_container(data[:cut], expect_kind="k")
+
+    def test_kind_mismatch_rejected(self):
+        data = container.encode_container("index", [])
+        with pytest.raises(CorruptSnapshotError) as info:
+            container.decode_container(data, expect_kind="snapshot")
+        assert info.value.details == {"expected": "snapshot", "actual": "index"}
+
+    def test_missing_declared_section_rejected(self):
+        # Chop the final section off entirely: framing parses (the cut is
+        # on a boundary), but META's declared section list catches it.
+        full = container.encode_container("k", [(b"DATA", b"x")])
+        cut = len(full) - (container._SECTION.size + 1)  # drop DATA entirely
+        with pytest.raises(CorruptSnapshotError) as info:
+            container.decode_container(full[:cut], expect_kind="k")
+        assert "declared" in str(info.value)
+
+    def test_structured_error_payload(self):
+        err = CorruptSnapshotError("boom", section="DATA", offset=12)
+        assert err.to_dict() == {
+            "error": "CorruptSnapshotError",
+            "message": "boom",
+            "details": {"section": "DATA", "offset": 12},
+        }
+
+
+class TestWALFraming:
+    def _make(self, path, n=3):
+        with WriteAheadLog(path, fsync=False) as wal:
+            for i in range(n):
+                wal.append("insert", i, i + 1, i + 1)
+
+    def test_append_scan_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._make(path)
+        report = scan_wal(path)
+        assert not report.torn
+        assert [(r.op, r.u, r.v, r.version) for r in report.records] == [
+            ("insert", 0, 1, 1),
+            ("insert", 1, 2, 2),
+            ("insert", 2, 3, 3),
+        ]
+
+    def test_missing_and_empty_files_scan_empty(self, tmp_path):
+        assert scan_wal(tmp_path / "absent.log").records == []
+        (tmp_path / "empty.log").write_bytes(b"")
+        assert scan_wal(tmp_path / "empty.log").records == []
+
+    def test_torn_tail_detected_and_truncatable(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._make(path)
+        removed = tear_wal_tail(path)
+        assert removed > 0
+        report = scan_wal(path)
+        assert report.torn
+        assert len(report.records) == 2  # final record lost, earlier kept
+        truncate_torn_tail(path, report)
+        clean = scan_wal(path)
+        assert not clean.torn and len(clean.records) == 2
+        # The log must accept appends again after truncation.
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append("delete", 9, 10, 3)
+        assert len(scan_wal(path).records) == 3
+
+    def test_corrupt_mid_record_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._make(path)
+        corrupt_wal_record(path, index=1)
+        with pytest.raises(CorruptWALError) as info:
+            scan_wal(path)
+        assert "checksum" in str(info.value)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._make(path)
+        flip_byte(path, 0)
+        with pytest.raises(CorruptWALError) as info:
+            scan_wal(path)
+        assert "magic" in str(info.value)
+
+    def test_implausible_length_is_corruption(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._make(path, n=1)
+        # Blow up the length prefix of the first record (offset 12).
+        flip_byte(path, 12)
+        with pytest.raises(CorruptWALError):
+            scan_wal(path)
+
+    def test_reset_leaves_fresh_header(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append("insert", 1, 2, 1)
+            wal.reset()
+            wal.append("insert", 3, 4, 2)
+        report = scan_wal(path)
+        assert [(r.u, r.v) for r in report.records] == [(3, 4)]
+
+    def test_string_vertices_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append("insert", "alice", "bob", 1)
+        record = scan_wal(path).records[0]
+        assert (record.u, record.v) == ("alice", "bob")
+
+    def test_invalid_op_rejected_at_append(self, tmp_path):
+        with WriteAheadLog(tmp_path / "w.log", fsync=False) as wal:
+            with pytest.raises(ValueError):
+                wal.append("upsert", 1, 2, 1)
