@@ -8,7 +8,9 @@ Subcommands
 ``query``        Query a saved ESDIndex.
 ``serve``        Long-lived query service over a maintained index (TCP/JSON);
                  with ``--data-dir`` it is durable (snapshot + WAL, crash
-                 recovery on restart).
+                 recovery on restart); ``--trace`` emits JSONL spans.
+``profile``      Trace one build+query+update+persist cycle on a graph and
+                 print the per-stage breakdown (docs/OBSERVABILITY.md).
 ``fsck``         Validate a ``--data-dir`` offline (checksums, WAL replay).
 ``bench``        Run one of the paper's experiments and print its table.
 """
@@ -118,6 +120,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import ESDServer, ServerConfig
 
+    trace_sink = None
+    if args.trace:
+        from repro.obs import JsonlSink, TRACER
+        from repro.obs.sinks import stderr_sink
+
+        trace_sink = stderr_sink() if args.trace == "-" else JsonlSink(args.trace)
+        TRACER.configure(trace_sink)
     # With a recoverable data dir, the graph flags are only a bootstrap
     # fallback; without one, they are required as before.
     graph = None
@@ -138,6 +147,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             data_dir=args.data_dir,
             snapshot_interval=args.snapshot_interval,
             fsync=not args.no_fsync,
+            slow_query_threshold=args.slow_query_ms / 1000.0,
+            slow_log_capacity=args.slow_log_capacity,
+            invariant_check_interval=args.check_invariants_every,
         ),
     )
     if server.recovery is not None:
@@ -162,6 +174,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("esd serve: interrupted, shutting down", file=sys.stderr)
     finally:
         server.shutdown()
+        if trace_sink is not None:
+            from repro.obs import TRACER
+
+            TRACER.disable()
+            close = getattr(trace_sink, "close", None)
+            if close is not None:
+                close()
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profile_cycle
+
+    graph = _load_graph(args)
+    report = profile_cycle(
+        graph,
+        k=args.k,
+        tau=args.tau,
+        repeat=args.repeat,
+        updates=args.updates,
+    )
+    print(report.render())
+    if args.trace_out:
+        import json
+
+        with open(args.trace_out, "w", encoding="ascii") as handle:
+            for record in report.records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(
+            f"# {len(report.records)} spans -> {args.trace_out}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -288,7 +332,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-append WAL fsync (faster, may lose the "
         "final acknowledged mutations on crash)",
     )
+    p_serve.add_argument(
+        "--slow-query-ms", type=float, default=250.0,
+        help="slow-query log threshold in milliseconds (0 disables; "
+        "entries surface in the metrics op)",
+    )
+    p_serve.add_argument(
+        "--slow-log-capacity", type=int, default=128,
+        help="slow-query ring-buffer entries kept (default 128)",
+    )
+    p_serve.add_argument(
+        "--check-invariants-every", type=int, default=0,
+        help="run a sampled index invariant check every N mutations "
+        "(0 = off)",
+    )
+    p_serve.add_argument(
+        "--trace",
+        help="emit JSONL trace spans to FILE ('-' for stderr)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="trace one build+query+update+persist cycle and print "
+        "the per-stage breakdown",
+    )
+    _add_graph_arguments(p_profile)
+    p_profile.add_argument("-k", type=int, default=10, help="result count")
+    p_profile.add_argument(
+        "--tau", type=int, default=2, help="component size threshold"
+    )
+    p_profile.add_argument(
+        "--repeat", type=int, default=5,
+        help="top-k queries timed in the query stage (default 5)",
+    )
+    p_profile.add_argument(
+        "--updates", type=int, default=8,
+        help="edges deleted and re-inserted in the update stage (default 8)",
+    )
+    p_profile.add_argument(
+        "--trace-out", help="also write the raw spans as JSONL to FILE"
+    )
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_fsck = sub.add_parser(
         "fsck", help="validate a serve --data-dir offline"

@@ -29,6 +29,7 @@ from collections import Counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.graph.graph import Edge, Graph, canonical_edge
+from repro.obs.trace import TRACER
 from repro.structures.treap import OrderStatTreap
 
 
@@ -111,13 +112,17 @@ class ESDIndex:
             raise ValueError(f"k must be >= 1, got {k}")
         if tau < 1:
             raise ValueError(f"tau must be >= 1, got {tau}")
-        pos = bisect_left(self._class_keys, tau)
-        if pos == len(self._class_keys):
-            return []
-        c_star = self._class_keys[pos]
-        return [
-            (edge, -neg) for neg, edge in self._classes[c_star].smallest(k)
-        ]
+        with TRACER.span("index.topk", k=k, tau=tau) as span:
+            pos = bisect_left(self._class_keys, tau)
+            if pos == len(self._class_keys):
+                span.set(c_star=None, results=0)
+                return []
+            c_star = self._class_keys[pos]
+            results = [
+                (edge, -neg) for neg, edge in self._classes[c_star].smallest(k)
+            ]
+            span.set(c_star=c_star, results=len(results))
+            return results
 
     def query(self, k: int, tau: int) -> List[Edge]:
         """Like :meth:`topk` but returning edges only."""

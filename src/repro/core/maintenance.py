@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Iterable, List, Set, Tuple
 from repro.core.build import build_index_fast_with_components
 from repro.core.index import ESDIndex
 from repro.graph.graph import Edge, Graph, Vertex, canonical_edge
+from repro.obs.trace import TRACER
 from repro.structures.dsu import EdgeComponentSets
 
 
@@ -43,6 +44,10 @@ class MutationCounters:
 
     insertions: int = 0
     deletions: int = 0
+    #: Cumulative index-entry refreshes across all updates -- the
+    #: core-layer cost counter surfaced by the unified metrics registry
+    #: (not persisted: a restored index restarts it at 0).
+    edges_rescored: int = 0
 
     @property
     def total(self) -> int:
@@ -134,12 +139,27 @@ class DynamicESDIndex:
     def insert_edge(self, u: Vertex, v: Vertex) -> UpdateStats:
         """Insert ``(u, v)`` and restore all invariants.
 
-        Raises ``ValueError`` if the edge already exists (callers see a
-        loud signal instead of silent corruption).
+        Raises ``ValueError`` if the edge already exists or is a
+        self-loop (callers see a loud signal instead of silent
+        corruption); a rejected insert leaves graph, ``M`` and index
+        untouched.
         """
+        if u == v:
+            raise ValueError(f"self-loop not allowed: ({u!r}, {v!r})")
         edge = canonical_edge(u, v)
         if self._graph.has_edge(u, v):
             raise ValueError(f"edge already in graph: {edge}")
+        with TRACER.span("index.insert_edge", edge=list(edge)) as span:
+            stats = self._apply_insert(edge, u, v)
+            span.set(
+                common_neighbors=stats.common_neighbors,
+                ego_edges=stats.ego_edges,
+                edges_rescored=stats.edges_rescored,
+            )
+            return stats
+
+    def _apply_insert(self, edge: Edge, u: Vertex, v: Vertex) -> UpdateStats:
+        """Algorithm 4 proper, after the entry-point validation."""
         self._graph.add_edge(u, v)
         common = self._graph.common_neighbors(u, v)
         stats = UpdateStats(common_neighbors=len(common))
@@ -173,11 +193,25 @@ class DynamicESDIndex:
     def delete_edge(self, u: Vertex, v: Vertex) -> UpdateStats:
         """Delete ``(u, v)`` and restore all invariants.
 
-        Raises ``KeyError`` if the edge is absent.
+        Raises ``KeyError`` if the edge is absent (a self-loop is never
+        in the graph, so it reports the same way).
         """
+        if u == v:
+            raise KeyError(f"edge not in graph: ({u!r}, {v!r})")
         edge = canonical_edge(u, v)
         if not self._graph.has_edge(u, v):
             raise KeyError(f"edge not in graph: {edge}")
+        with TRACER.span("index.delete_edge", edge=list(edge)) as span:
+            stats = self._apply_delete(edge, u, v)
+            span.set(
+                common_neighbors=stats.common_neighbors,
+                ego_edges=stats.ego_edges,
+                edges_rescored=stats.edges_rescored,
+            )
+            return stats
+
+    def _apply_delete(self, edge: Edge, u: Vertex, v: Vertex) -> UpdateStats:
+        """Algorithm 5 proper, after the entry-point validation."""
         common = self._graph.common_neighbors(u, v)
         stats = UpdateStats(common_neighbors=len(common))
         self._graph.remove_edge(u, v)
@@ -213,13 +247,22 @@ class DynamicESDIndex:
     def insert_vertex(self, v: Vertex, neighbors: Iterable[Vertex]) -> List[UpdateStats]:
         """Insert vertex ``v`` with its incident edges, one at a time.
 
-        Raises ``ValueError`` if ``v`` already exists with edges, so a
-        partial overlap cannot silently double-insert.
+        Raises ``ValueError`` if ``v`` already exists with edges (so a
+        partial overlap cannot silently double-insert) or if ``v`` is
+        its own neighbor (a self-loop).  Both are checked *before* any
+        mutation: a rejected call leaves graph and index untouched
+        rather than half-applied.
         """
+        targets = sorted(set(neighbors))
+        if v in targets:
+            raise ValueError(
+                f"self-loop not allowed: vertex {v!r} listed in its own "
+                f"neighbors"
+            )
         if v in self._graph and self._graph.degree(v) > 0:
             raise ValueError(f"vertex already in graph with edges: {v!r}")
         self._graph.add_vertex(v)
-        return [self.insert_edge(v, w) for w in sorted(set(neighbors))]
+        return [self.insert_edge(v, w) for w in targets]
 
     def delete_vertex(self, v: Vertex) -> List[UpdateStats]:
         """Delete vertex ``v`` by deleting its incident edges, then ``v``."""
@@ -244,7 +287,19 @@ class DynamicESDIndex:
         duplicate-insert guard), then insertions.  Each update is applied
         through the exact single-edge algorithms, so the index stays
         query-consistent between every pair of updates.
+
+        Self-loops anywhere in the batch raise ``ValueError`` before
+        *any* update is applied -- a malformed batch never leaves the
+        index in a half-applied state it would otherwise be impossible
+        to distinguish from a successful partial run.
         """
+        insertions = list(insertions)
+        deletions = list(deletions)
+        for u, v in insertions + deletions:
+            if u == v:
+                raise ValueError(
+                    f"self-loop not allowed in batch: ({u!r}, {v!r})"
+                )
         total = UpdateStats()
         for u, v in deletions:
             s = self.delete_edge(u, v)
@@ -371,6 +426,7 @@ class DynamicESDIndex:
             else:
                 self._index.remove_edge(e)
             stats.edges_rescored += 1
+            self._mutations.edges_rescored += 1
 
     def _remove_member(self, edge: Edge, leaver: Vertex) -> None:
         """Remove ``leaver`` from ``M_edge``, re-partitioning if needed."""

@@ -32,6 +32,8 @@ class OnlineSearchStats:
     edges_total: int = 0
     evaluated: int = 0
     pops: int = 0
+    bound_evaluations: int = 0
+    heap_stale_skips: int = 0
     results: List[Tuple[Edge, int]] = field(default_factory=list)
 
     @property
@@ -82,6 +84,7 @@ def topk_online(
 
     for u, v in graph.edges():
         queue.push((u, v), bound_rule(graph, u, v, tau))
+        stats.bound_evaluations += 1
 
     results: List[Tuple[Edge, int]] = []
     while len(results) < k and queue:
@@ -98,6 +101,7 @@ def topk_online(
         queue.push(edge, score)
 
     stats.results = results
+    stats.heap_stale_skips = queue.stale_skips
     if with_stats:
         return results, stats
     return results

@@ -197,6 +197,14 @@ def parallel_four_cliques(
 
     The paper's literal directed-edge-parallel enumeration (§IV-E step
     two).  ``threads=0`` uses all cores; ``threads=1`` runs inline.
+
+    Results are materialized eagerly and returned as an iterator.  An
+    earlier version built the pool inside a generator; an abandoned
+    iterator then suspended mid-``with``, leaking the worker processes
+    and leaving ``_WORKER_DAG`` pinned until GC.  ``pool.map`` is eager
+    anyway, so laziness bought nothing -- now the pool is torn down and
+    the module state cleared before this function returns, no matter
+    what the caller does with the iterator.
     """
     global _WORKER_DAG
     threads = _resolve_threads(threads)
@@ -205,14 +213,15 @@ def parallel_four_cliques(
     _WORKER_DAG = dag
     try:
         if threads == 1 or len(directed) < 2 * threads:
-            yield from _enumerate_chunk(directed)
-            return
+            return iter(_enumerate_chunk(directed))
         ctx = mp.get_context("fork")
         chunks: List[List[Tuple[Vertex, Vertex]]] = [[] for _ in range(threads)]
         for i, edge in enumerate(directed):
             chunks[i % threads].append(edge)
+        cliques: List[Tuple[Vertex, Vertex, Vertex, Vertex]] = []
         with ctx.Pool(processes=threads) as pool:
-            for cliques in pool.map(_enumerate_chunk, chunks):
-                yield from cliques
+            for part in pool.map(_enumerate_chunk, chunks):
+                cliques.extend(part)
+        return iter(cliques)
     finally:
         _WORKER_DAG = None

@@ -1,0 +1,42 @@
+"""repro.obs -- cross-cutting observability for the reproduction.
+
+Four cooperating pieces, all stdlib-only at import time so every layer
+(core, service, persistence) can depend on them without cycles:
+
+* :mod:`~repro.obs.trace` -- structured tracing: nestable spans with
+  ids/durations/attributes, near-zero overhead when disabled, emitted
+  through a pluggable sink.  ``TRACER`` is the process-wide instance
+  the built-in instrumentation uses.
+* :mod:`~repro.obs.sinks` -- JSONL / collecting / null span sinks.
+* :mod:`~repro.obs.registry` -- :class:`UnifiedRegistry`, folding the
+  service ``MetricsRegistry`` plus per-component ``stats()`` providers
+  and core-layer counters into one metrics document.
+* :mod:`~repro.obs.slowlog` -- :class:`SlowQueryLog`, a ring buffer of
+  requests over a latency threshold.
+* :mod:`~repro.obs.sampler` -- :class:`InvariantSampler`, sampled
+  production self-checking of the dynamic index.
+
+``esd profile`` (see :mod:`~repro.obs.profile`) drives one traced
+build/query/update/persist cycle and reports per-stage timings from the
+real emitted spans.  See docs/OBSERVABILITY.md for the full tour.
+"""
+
+from repro.obs.registry import UnifiedRegistry
+from repro.obs.sampler import InvariantSampler, InvariantViolation
+from repro.obs.sinks import CollectingSink, JsonlSink, NullSink, span_tree
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import TRACER, Span, Tracer
+
+__all__ = [
+    "TRACER",
+    "Tracer",
+    "Span",
+    "JsonlSink",
+    "CollectingSink",
+    "NullSink",
+    "span_tree",
+    "UnifiedRegistry",
+    "SlowQueryLog",
+    "InvariantSampler",
+    "InvariantViolation",
+]

@@ -1,0 +1,208 @@
+"""``esd profile``: trace one build / query / update / persist cycle.
+
+Rather than timing stages with ad-hoc stopwatches, the profiler runs the
+real code paths with tracing enabled and derives its report *from the
+emitted spans* -- the same spans ``esd serve --trace`` produces -- so
+the numbers an operator profiles offline are definitionally the numbers
+the instrumentation reports online.
+
+The cycle:
+
+1. **build**   -- construct a :class:`DynamicESDIndex` from the graph;
+2. **query**   -- ``repeat`` indexed top-k queries plus one online
+   (dequeue-twice) run, which also exercises the core counters
+   (bound-rule evaluations, heap stale-skips);
+3. **update**  -- delete and re-insert ``updates`` existing edges (the
+   graph ends bit-identical, the maintenance path is fully exercised);
+4. **persist** -- write a snapshot and WAL-append the update batch into
+   a throwaway directory.
+
+The report aggregates span durations per stage and per span name and
+folds in the core-layer counters through a
+:class:`~repro.obs.registry.UnifiedRegistry`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.registry import UnifiedRegistry
+from repro.obs.sinks import CollectingSink
+from repro.obs.trace import TRACER, Tracer
+
+__all__ = ["ProfileReport", "profile_cycle"]
+
+#: The stage roots the profiler opens, in execution order.
+STAGES = ("build", "query", "update", "persist")
+
+
+@dataclass
+class ProfileReport:
+    """Per-stage and per-span timing derived from real emitted spans."""
+
+    n: int = 0
+    m: int = 0
+    stages: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    span_aggregates: List[Dict[str, Any]] = field(default_factory=list)
+    counters: Dict[str, Any] = field(default_factory=dict)
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"esd profile: n={self.n}, m={self.m}"]
+        lines.append("")
+        lines.append(f"{'stage':<10} {'spans':>6} {'total_ms':>10}")
+        for name in STAGES:
+            stage = self.stages.get(name)
+            if stage is None:
+                continue
+            lines.append(
+                f"{name:<10} {stage['spans']:>6} {stage['total_ms']:>10.2f}"
+            )
+        lines.append("")
+        lines.append(f"{'span':<22} {'count':>6} {'total_ms':>10} {'mean_ms':>9}")
+        for agg in self.span_aggregates:
+            lines.append(
+                f"{agg['name']:<22} {agg['count']:>6} "
+                f"{agg['total_ms']:>10.2f} {agg['mean_ms']:>9.3f}"
+            )
+        lines.append("")
+        lines.append("counters:")
+        for key in sorted(self.counters):
+            lines.append(f"  {key:<28} {self.counters[key]}")
+        return "\n".join(lines)
+
+
+def _aggregate(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Fold span records into per-name (count, total, mean) rows."""
+    totals: Dict[str, List[float]] = {}
+    for record in records:
+        entry = totals.setdefault(record["name"], [0, 0.0])
+        entry[0] += 1
+        entry[1] += record["duration_ms"]
+    return [
+        {
+            "name": name,
+            "count": count,
+            "total_ms": round(total, 4),
+            "mean_ms": round(total / count, 4) if count else 0.0,
+        }
+        for name, (count, total) in sorted(
+            totals.items(), key=lambda item: -item[1][1]
+        )
+    ]
+
+
+def profile_cycle(
+    graph,
+    *,
+    k: int = 10,
+    tau: int = 2,
+    repeat: int = 5,
+    updates: int = 8,
+    tracer: Optional[Tracer] = None,
+) -> ProfileReport:
+    """Run the traced build+query+update+persist cycle on ``graph``.
+
+    Temporarily points ``tracer`` (default: the process tracer) at a
+    collecting sink; the previous sink/enabled state is restored on
+    exit, so profiling composes with an already-configured tracer.
+
+    The built-in instrumentation (index, WAL, store) emits to the
+    process-wide :data:`~repro.obs.trace.TRACER`; passing a private
+    tracer therefore captures only the stage roots, not the per-layer
+    child spans -- useful for isolated stage totals, nothing more.
+    """
+    from repro.core.maintenance import DynamicESDIndex
+    from repro.core.online import topk_online
+    from repro.persistence.store import DataDirectory
+    from repro.persistence.wal import WriteAheadLog
+
+    if k < 1 or tau < 1 or repeat < 1 or updates < 0:
+        raise ValueError(
+            f"invalid profile parameters: k={k}, tau={tau}, "
+            f"repeat={repeat}, updates={updates}"
+        )
+    tracer = tracer if tracer is not None else TRACER
+    sink = CollectingSink()
+    previous = (tracer.sink, tracer.enabled)
+    tracer.configure(sink)
+    try:
+        with tracer.span("profile.build", n=graph.n, m=graph.m):
+            dyn = DynamicESDIndex(graph)
+
+        with tracer.span("profile.query", k=k, tau=tau, repeat=repeat):
+            for _ in range(repeat):
+                dyn.topk(k, tau)
+            with tracer.span("online.topk", k=k, tau=tau):
+                _, online_stats = topk_online(
+                    graph, k, tau, with_stats=True
+                )
+
+        edges = dyn.graph.edge_list()[: min(updates, dyn.graph.m)]
+        with tracer.span("profile.update", updates=2 * len(edges)):
+            for u, v in edges:
+                dyn.delete_edge(u, v)
+                dyn.insert_edge(u, v)
+
+        with tracer.span("profile.persist", updates=len(edges)):
+            with tempfile.TemporaryDirectory(prefix="esd-profile-") as tmp:
+                store = DataDirectory(tmp)
+                store.write_snapshot(dyn)
+                with WriteAheadLog(store.wal_path) as wal:
+                    version = dyn.graph_version
+                    for offset, (u, v) in enumerate(edges, start=1):
+                        wal.append("insert", u, v, version + offset)
+    finally:
+        prev_sink, prev_enabled = previous
+        if prev_sink is None and not prev_enabled:
+            tracer.disable()
+        else:
+            tracer.configure(prev_sink, enabled=prev_enabled)
+
+    records = sink.records
+    report = ProfileReport(n=graph.n, m=graph.m, records=records)
+    stage_ids: Dict[str, str] = {}
+    for record in records:
+        name = record["name"]
+        if name.startswith("profile."):
+            stage = name.split(".", 1)[1]
+            stage_ids[record["span_id"]] = stage
+            report.stages[stage] = {
+                "total_ms": round(record["duration_ms"], 4),
+                "spans": 0,
+            }
+    for record in records:
+        stage = stage_ids.get(record.get("trace_id"))
+        if stage is not None and not record["name"].startswith("profile."):
+            report.stages[stage]["spans"] += 1
+
+    report.span_aggregates = _aggregate(
+        [r for r in records if not r["name"].startswith("profile.")]
+    )
+
+    registry = UnifiedRegistry()
+    counters = dyn.mutation_counters
+    registry.add_source(
+        "core",
+        lambda: {
+            "insertions": counters.insertions,
+            "deletions": counters.deletions,
+            "edges_rescored": counters.edges_rescored,
+        },
+    )
+    registry.add_source(
+        "online",
+        lambda: {
+            "bound_evaluations": online_stats.bound_evaluations,
+            "heap_stale_skips": online_stats.heap_stale_skips,
+            "evaluated": online_stats.evaluated,
+            "pruned": online_stats.pruned,
+        },
+    )
+    merged = registry.snapshot()
+    for group, values in merged.items():
+        for key, value in values.items():
+            report.counters[f"{group}.{key}"] = value
+    return report

@@ -1,0 +1,162 @@
+"""Invariant sampling: production self-checking for the dynamic index.
+
+``DynamicESDIndex.check_invariants()`` exists as a testing hook, but a
+full check recomputes every edge's ego-network -- far too expensive for
+a serve loop.  :class:`InvariantSampler` turns it into something a
+production service can afford: every ``every`` successful mutations it
+draws a deterministic pseudo-random sample of live edges and verifies,
+for each, that the maintained ``M`` structure still matches a
+from-scratch recomputation (component-size multiset *and* membership,
+the same two assertions the full check makes per edge).
+
+A detected mismatch is recorded -- never raised by default -- because a
+monitoring probe must not take down the write path; the serve loop
+surfaces ``violations`` through the ``metrics`` op where an operator
+(or an alert) can see it.  ``strict=True`` opts into raising, which the
+tests use.
+
+Cost model: one check touches ``sample_size`` ego-networks, so with
+``every=N`` the amortized overhead per mutation is ``sample_size / N``
+ego-network BFS runs -- tunable to arbitrarily cheap.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["InvariantSampler", "InvariantViolation"]
+
+
+class InvariantViolation(AssertionError):
+    """A sampled edge's maintained state diverged from recomputation."""
+
+    def __init__(self, edge, reason: str) -> None:
+        super().__init__(f"invariant violation on edge {edge}: {reason}")
+        self.edge = edge
+        self.reason = reason
+
+
+class InvariantSampler:
+    """Run sampled invariant checks every ``every`` mutations."""
+
+    def __init__(
+        self,
+        dyn,
+        *,
+        every: int,
+        sample_size: int = 8,
+        seed: int = 0x5EED,
+        strict: bool = False,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        self._dyn = dyn
+        self.every = every
+        self.sample_size = sample_size
+        self.strict = strict
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._since = 0
+        self.checks = 0
+        self.edges_checked = 0
+        self.violations: List[Dict[str, Any]] = []
+        self.last_check_version: Optional[int] = None
+
+    # -- serve-loop hook ---------------------------------------------------
+
+    def on_mutation(self, version: int) -> bool:
+        """Count one mutation; run a sampled check when the period elapses.
+
+        Called from the index's mutation hook, i.e. under the writer's
+        exclusive lock -- the sampled state cannot move underneath the
+        check.  Returns whether a check ran.
+        """
+        with self._lock:
+            self._since += 1
+            if self._since < self.every:
+                return False
+            self._since = 0
+        self.check_now(version)
+        return True
+
+    def check_now(self, version: Optional[int] = None) -> int:
+        """Check a fresh sample immediately; returns edges verified.
+
+        Raises :class:`InvariantViolation` on a mismatch in strict mode;
+        otherwise records it in :attr:`violations` (bounded to the most
+        recent 32) and keeps going.
+        """
+        # Local import: repro.obs must stay import-cycle-free with core.
+        from repro.core.diversity import ego_component_sizes
+
+        graph = self._dyn.graph
+        edges = graph.edge_list()
+        if not edges:
+            self.checks += 1
+            self.last_check_version = (
+                version if version is not None else self._dyn.graph_version
+            )
+            return 0
+        sample = self._rng.sample(edges, min(self.sample_size, len(edges)))
+        checked = 0
+        for u, v in sample:
+            checked += 1
+            self.edges_checked += 1
+            m = self._dyn.components_of((u, v))
+            expected_sizes = sorted(ego_component_sizes(graph, u, v))
+            actual_sizes = sorted(m.component_sizes())
+            if actual_sizes != expected_sizes:
+                self._record(
+                    (u, v),
+                    f"component sizes {actual_sizes} != expected {expected_sizes}",
+                    version,
+                )
+                continue
+            expected_members = graph.common_neighbors(u, v)
+            if set(m.members()) != expected_members:
+                self._record(
+                    (u, v),
+                    f"members {sorted(m.members())} != "
+                    f"expected {sorted(expected_members)}",
+                    version,
+                )
+        self.checks += 1
+        self.last_check_version = (
+            version if version is not None else self._dyn.graph_version
+        )
+        return checked
+
+    def _record(self, edge, reason: str, version: Optional[int]) -> None:
+        violation = {
+            "edge": list(edge),
+            "reason": reason,
+            "graph_version": (
+                version if version is not None else self._dyn.graph_version
+            ),
+        }
+        with self._lock:
+            self.violations.append(violation)
+            del self.violations[:-32]
+        if self.strict:
+            raise InvariantViolation(edge, reason)
+
+    # -- reporting ---------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """JSON-ready stanza for the unified metrics document."""
+        with self._lock:
+            return {
+                "enabled": True,
+                "every": self.every,
+                "sample_size": self.sample_size,
+                "strict": self.strict,
+                "checks": self.checks,
+                "edges_checked": self.edges_checked,
+                "violations": len(self.violations),
+                "recent_violations": list(self.violations[-5:]),
+                "last_check_version": self.last_check_version,
+            }

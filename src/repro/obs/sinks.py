@@ -1,0 +1,118 @@
+"""Span sinks: where finished spans go.
+
+A sink is anything with an ``emit(record: dict)`` method (or any plain
+callable).  Three implementations cover the built-in needs:
+
+* :class:`JsonlSink` -- one JSON object per line to a file or stream;
+  the on-disk interchange format (``esd serve --trace``,
+  ``esd profile --trace-out``).
+* :class:`CollectingSink` -- in-memory buffer; powers ``esd profile``'s
+  per-stage breakdown and the tracing tests.
+* :class:`NullSink` -- counts and drops; for overhead measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["JsonlSink", "CollectingSink", "NullSink", "span_tree"]
+
+
+class JsonlSink:
+    """Append spans as JSON lines to a path or an open text stream.
+
+    Writes are serialized under a lock (spans finish on many threads)
+    and flushed per record so a crash loses at most the span being
+    written -- the same durability posture as the WAL's logging, minus
+    the fsync (traces are diagnostics, not data).
+    """
+
+    def __init__(self, target) -> None:
+        self._lock = threading.Lock()
+        if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+            self._stream = open(target, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.emitted = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self.emitted += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream and not self._stream.closed:
+                self._stream.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def stderr_sink() -> JsonlSink:
+    """A :class:`JsonlSink` over ``sys.stderr`` (``--trace -``)."""
+    return JsonlSink(sys.stderr)
+
+
+class CollectingSink:
+    """Keep every span record in memory (optionally bounded)."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            if self.capacity is not None and len(self._records) >= self.capacity:
+                self.dropped += 1
+                return
+            self._records.append(record)
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """Snapshot copy of the collected spans (emission order)."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class NullSink:
+    """Count spans, keep nothing -- for measuring tracing overhead."""
+
+    def __init__(self) -> None:
+        self.emitted = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.emitted += 1
+
+
+def span_tree(records: List[Dict[str, Any]]) -> Dict[Optional[str], List[Dict[str, Any]]]:
+    """Index span records by ``parent_id`` (``None`` keys the roots).
+
+    A convenience for tests and report code walking emitted spans:
+    ``tree[None]`` are the roots, ``tree[span["span_id"]]`` its children.
+    """
+    tree: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for record in records:
+        tree.setdefault(record.get("parent_id"), []).append(record)
+    return tree

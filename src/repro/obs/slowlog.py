@@ -1,0 +1,85 @@
+"""Slow-query log: a bounded ring of the worst recent requests.
+
+Latency percentiles say *that* the tail is bad; the slow-query log says
+*which requests* were in it.  Every endpoint observation above the
+threshold is recorded into a fixed-capacity ring buffer (oldest entries
+fall off), exposed over the service's ``metrics`` op, so an operator can
+see the offending endpoint, duration and context without any external
+tooling.
+
+The hot path pays one float comparison per request when the log is
+enabled and nothing is slow; recording takes a short critical section.
+A threshold of ``0`` disables the log entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Ring buffer of requests slower than ``threshold`` seconds."""
+
+    def __init__(self, threshold: float = 0.25, capacity: int = 128) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.threshold = threshold
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._recorded = 0  # total ever recorded, ring may have dropped some
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def record(
+        self, endpoint: str, seconds: float, error: bool = False, **detail: Any
+    ) -> bool:
+        """Log the request if it crossed the threshold; return whether it did.
+
+        Signature-compatible with the ``MetricsRegistry`` observation
+        hook, so one log can shadow every timed endpoint.
+        """
+        if not self.enabled or seconds < self.threshold:
+            return False
+        entry: Dict[str, Any] = {
+            "ts": round(time.time(), 3),
+            "endpoint": endpoint,
+            "duration_ms": round(seconds * 1000.0, 3),
+        }
+        if error:
+            entry["error"] = True
+        if detail:
+            entry["detail"] = detail
+        with self._lock:
+            self._ring.append(entry)
+            self._recorded += 1
+        return True
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """The retained entries, oldest first (a snapshot copy)."""
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready stanza for the unified metrics document."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "threshold_ms": round(self.threshold * 1000.0, 3),
+                "capacity": self.capacity,
+                "recorded": self._recorded,
+                "entries": list(self._ring),
+            }

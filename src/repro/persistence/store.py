@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.maintenance import DynamicESDIndex
 from repro.graph.graph import Graph
+from repro.obs.trace import TRACER
 from repro.persistence.errors import (
     MissingSnapshotError,
     RecoveryError,
@@ -224,33 +225,38 @@ class DataDirectory:
 
     def write_snapshot(self, dyn: DynamicESDIndex) -> int:
         """Atomically replace the snapshot with the current state."""
-        data = encode_snapshot(dyn.export_state())
-        with open(self.snapshot_tmp_path, "wb") as handle:
-            handle.write(data)
-            handle.flush()
+        with TRACER.span(
+            "store.snapshot", version=dyn.graph_version
+        ) as span:
+            data = encode_snapshot(dyn.export_state())
+            span.set(bytes=len(data))
+            with open(self.snapshot_tmp_path, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                if self._fsync:
+                    os.fsync(handle.fileno())
+            if self.faults is not None:
+                self.faults.check("snapshot.after_tmp")
+            os.replace(self.snapshot_tmp_path, self.snapshot_path)
             if self._fsync:
-                os.fsync(handle.fileno())
-        if self.faults is not None:
-            self.faults.check("snapshot.after_tmp")
-        os.replace(self.snapshot_tmp_path, self.snapshot_path)
-        if self._fsync:
-            dir_fd = os.open(self.path, os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
-        if self.faults is not None:
-            self.faults.check("snapshot.after_replace")
-        self.snapshots_written += 1
-        self.last_snapshot_version = dyn.graph_version
-        return len(data)
+                dir_fd = os.open(self.path, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+            if self.faults is not None:
+                self.faults.check("snapshot.after_replace")
+            self.snapshots_written += 1
+            self.last_snapshot_version = dyn.graph_version
+            return len(data)
 
     def compact(self, dyn: DynamicESDIndex) -> int:
         """Snapshot the current state, then truncate the WAL."""
-        size = self.write_snapshot(dyn)
-        if self.wal is not None:
-            self.wal.reset()
-        return size
+        with TRACER.span("store.compact", version=dyn.graph_version):
+            size = self.write_snapshot(dyn)
+            if self.wal is not None:
+                self.wal.reset()
+            return size
 
     def stats(self) -> Dict[str, Any]:
         return {

@@ -37,6 +37,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
+from repro.obs.trace import TRACER
 from repro.persistence.errors import CorruptWALError
 
 MAGIC = b"ESDWALOG"
@@ -204,7 +205,8 @@ class WriteAheadLog:
     def _sync(self) -> None:
         self._file.flush()
         if self._fsync:
-            os.fsync(self._file.fileno())
+            with TRACER.span("wal.fsync"):
+                os.fsync(self._file.fileno())
 
     def append(self, op: str, u: Any, v: Any, version: int) -> WALRecord:
         """Durably append one mutation record *before* it is applied."""
@@ -212,16 +214,19 @@ class WriteAheadLog:
             raise ValueError(f"op must be one of {VALID_OPS}, got {op!r}")
         record = WALRecord(op=op, u=u, v=v, version=version)
         encoded = record.encode()
-        if self._faults is not None:
-            self._faults.check("wal.append.before")
-            if self._faults.armed("wal.append.partial"):
-                self._file.write(encoded[: len(encoded) // 2])
-                self._sync()
-                self._faults.check("wal.append.partial")
-        self._file.write(encoded)
-        self._sync()
-        if self._faults is not None:
-            self._faults.check("wal.append.after")
+        with TRACER.span(
+            "wal.append", op=op, version=version, bytes=len(encoded)
+        ):
+            if self._faults is not None:
+                self._faults.check("wal.append.before")
+                if self._faults.armed("wal.append.partial"):
+                    self._file.write(encoded[: len(encoded) // 2])
+                    self._sync()
+                    self._faults.check("wal.append.partial")
+            self._file.write(encoded)
+            self._sync()
+            if self._faults is not None:
+                self._faults.check("wal.append.after")
         self.appended += 1
         return record
 

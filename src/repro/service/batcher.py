@@ -26,6 +26,8 @@ import threading
 import time
 from typing import Any, Callable, Dict, Hashable, List, Tuple
 
+from repro.obs.trace import TRACER
+
 
 class _Pending:
     """One distinct key awaited by one or more callers."""
@@ -80,13 +82,17 @@ class TopKBatcher:
             lead = not self._leader_active
             if lead:
                 self._leader_active = True
-        if lead:
-            self._run_batch()
-        if not entry.event.wait(timeout):
-            raise TimeoutError(f"batched query timed out after {timeout}s")
-        if entry.error is not None:
-            raise entry.error
-        return entry.result
+        with TRACER.span(
+            "batcher.submit", role="leader" if lead else "follower"
+        ) as span:
+            if lead:
+                self._run_batch()
+            if not entry.event.wait(timeout):
+                raise TimeoutError(f"batched query timed out after {timeout}s")
+            if entry.error is not None:
+                raise entry.error
+            span.set(batch_requests=entry.result[1])
+            return entry.result
 
     def _run_batch(self) -> None:
         if self.window:

@@ -20,6 +20,19 @@ from typing import Any, Dict, Hashable, Tuple
 _MISS = object()
 
 
+def _is_versioned_key(key: Hashable) -> bool:
+    """The key schema shared with ``QueryEngine``: a non-empty tuple whose
+    last element is the integer graph version (``(k, tau, version)``).
+    ``purge_stale`` relies on this shape; ``bool`` is excluded because it
+    is an ``int`` subtype but never a version."""
+    return (
+        isinstance(key, tuple)
+        and len(key) > 0
+        and isinstance(key[-1], int)
+        and not isinstance(key[-1], bool)
+    )
+
+
 class ResultCache:
     """Bounded LRU mapping with hit/miss/eviction accounting."""
 
@@ -64,15 +77,23 @@ class ResultCache:
     def purge_stale(self, current_version: int) -> int:
         """Drop entries whose version component is below ``current_version``.
 
-        Assumes keys are tuples whose last element is the graph version
-        (the engine's convention); returns the number of entries dropped.
+        Every key must follow the version-suffixed tuple schema shared
+        with ``QueryEngine`` (see :func:`_is_versioned_key`); a key that
+        does not is a caller bug and raises ``ValueError`` loudly
+        instead of being silently skipped and retained forever.  Returns
+        the number of entries dropped.
         """
         with self._lock:
-            stale = [
-                key
-                for key in self._entries
-                if isinstance(key, tuple) and key[-1] < current_version
-            ]
+            stale = []
+            for key in self._entries:
+                if not _is_versioned_key(key):
+                    raise ValueError(
+                        f"cache key {key!r} does not follow the "
+                        f"(..., graph_version) tuple schema required by "
+                        f"purge_stale"
+                    )
+                if key[-1] < current_version:
+                    stale.append(key)
             for key in stale:
                 del self._entries[key]
             self.purged += len(stale)
@@ -82,21 +103,31 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when none yet)."""
+    def _hit_rate_locked(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def stats(self) -> Dict[str, object]:
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
         with self._lock:
-            size = len(self._entries)
-        return {
-            "size": size,
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "purged": self.purged,
-            "hit_rate": round(self.hit_rate, 4),
-        }
+            return self._hit_rate_locked()
+
+    def stats(self) -> Dict[str, object]:
+        """Consistent counter snapshot: every field from one locked read.
+
+        The whole read runs under ``_lock`` so ``hits``/``misses`` and
+        ``hit_rate`` always agree; reading them field-by-field outside
+        the lock produced torn snapshots under concurrent load (a rate
+        computed from different counter values than the ones reported).
+        """
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "purged": self.purged,
+                "hit_rate": round(self._hit_rate_locked(), 4),
+            }

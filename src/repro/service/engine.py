@@ -42,6 +42,10 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 from repro.core.maintenance import DynamicESDIndex
 from repro.core.monitor import TopKChange, TopKMonitor
 from repro.graph.graph import Graph, canonical_edge
+from repro.obs.registry import UnifiedRegistry
+from repro.obs.sampler import InvariantSampler
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import TRACER
 from repro.service.batcher import TopKBatcher
 from repro.service.cache import ResultCache
 from repro.service.metrics import MetricsRegistry
@@ -82,6 +86,10 @@ class QueryEngine:
         snapshot_interval: int = 1000,
         cache_size: int = 1024,
         batch_window: float = 0.002,
+        slow_query_threshold: float = 0.25,
+        slow_log_capacity: int = 128,
+        invariant_check_interval: int = 0,
+        invariant_sample_size: int = 8,
     ) -> None:
         if (graph is None) == (dynamic_index is None):
             raise ValueError(
@@ -90,6 +98,11 @@ class QueryEngine:
         if snapshot_interval < 1:
             raise ValueError(
                 f"snapshot_interval must be >= 1, got {snapshot_interval}"
+            )
+        if invariant_check_interval < 0:
+            raise ValueError(
+                f"invariant_check_interval must be >= 0, got "
+                f"{invariant_check_interval}"
             )
         self._dyn = (
             dynamic_index if dynamic_index is not None else DynamicESDIndex(graph)
@@ -100,11 +113,24 @@ class QueryEngine:
         self._lock = RWLock()
         self._cache = ResultCache(cache_size)
         self._batcher = TopKBatcher(self._run_batch, window=batch_window)
-        self.metrics = MetricsRegistry()
+        self.slow_log = SlowQueryLog(
+            threshold=slow_query_threshold, capacity=slow_log_capacity
+        )
+        self.metrics = MetricsRegistry(on_observe=self.slow_log.record)
+        self.sampler: Optional[InvariantSampler] = (
+            InvariantSampler(
+                self._dyn,
+                every=invariant_check_interval,
+                sample_size=invariant_sample_size,
+            )
+            if invariant_check_interval > 0
+            else None
+        )
         self._watch_lock = threading.Lock()
         self._watches: Dict[int, _Watch] = {}
         self._watch_ids = itertools.count(1)
         self._dyn.subscribe(self._on_mutation)
+        self.obs = self._build_registry()
 
     # -- plumbing -------------------------------------------------------------
 
@@ -138,29 +164,65 @@ class QueryEngine:
                 self._since_snapshot = 0
             self._store.close()
 
+    def _build_registry(self) -> UnifiedRegistry:
+        """Fold every component's stats into one snapshot provider."""
+        registry = UnifiedRegistry(self.metrics)
+        registry.add_source("cache", self._cache.stats)
+        registry.add_source("batcher", self._batcher.stats)
+        registry.add_source("lock", self._lock.snapshot)
+        registry.add_source("graph_version", lambda: self._dyn.graph_version)
+        registry.add_source("core", self._core_counters)
+        registry.add_source("slow_queries", self.slow_log.snapshot)
+        registry.add_source(
+            "invariant_sampler",
+            (self.sampler.status if self.sampler is not None
+             else lambda: {"enabled": False}),
+        )
+        registry.add_source("tracing", TRACER.status)
+        if self._store is not None:
+            registry.add_source("persistence", self._store.stats)
+        return registry
+
+    def _core_counters(self) -> Dict[str, Any]:
+        """The core-layer counters of the maintained index."""
+        counters = self._dyn.mutation_counters
+        return {
+            "insertions": counters.insertions,
+            "deletions": counters.deletions,
+            "edges_rescored": counters.edges_rescored,
+        }
+
     def _on_mutation(self, kind: str, edge, version: int) -> None:
         # Runs under the write lock, after the index is consistent again.
         purged = self._cache.purge_stale(version)
         if purged:
             self.metrics.incr("cache_purged_entries", purged)
+        if self.sampler is not None and self.sampler.on_mutation(version):
+            # Violation details live in the sampler's own metrics stanza.
+            self.metrics.incr("invariant_checks")
 
     def _run_batch(
         self, keys: List[Hashable]
     ) -> Dict[Hashable, Dict[str, Any]]:
         """Answer all distinct ``(k, τ)`` keys in one read-locked pass."""
         results: Dict[Hashable, Dict[str, Any]] = {}
-        with self._lock.read_locked():
-            version = self._dyn.graph_version
-            for key in keys:
-                k, tau = key
-                hit, payload = self._cache.get((k, tau, version))
-                if not hit:
-                    payload = {
-                        "items": _items(self._dyn.topk(k, tau)),
-                        "graph_version": version,
-                    }
-                    self._cache.put((k, tau, version), payload)
-                results[key] = payload
+        with TRACER.span("engine.batch", keys=len(keys)) as span:
+            hits = 0
+            with self._lock.read_locked():
+                version = self._dyn.graph_version
+                for key in keys:
+                    k, tau = key
+                    hit, payload = self._cache.get((k, tau, version))
+                    if hit:
+                        hits += 1
+                    else:
+                        payload = {
+                            "items": _items(self._dyn.topk(k, tau)),
+                            "graph_version": version,
+                        }
+                        self._cache.put((k, tau, version), payload)
+                    results[key] = payload
+            span.set(cache_hits=hits, graph_version=version)
         return results
 
     # -- read endpoints -------------------------------------------------------
@@ -169,15 +231,20 @@ class QueryEngine:
         """Top-k query; served from cache or a coalesced index pass."""
         _validate_k_tau(k, tau)
         with self.metrics.timed("topk"):
-            # Racy fast path: a hit for the version we just read is valid
-            # by keying even if a writer lands concurrently -- the answer
-            # was current at some instant inside this request.
-            version = self._dyn.graph_version
-            hit, payload = self._cache.get((k, tau, version))
-            if hit:
-                return dict(payload, cached=True, batched=1)
-            payload, batch_requests = self._batcher.submit((k, tau))
-            return dict(payload, cached=False, batched=batch_requests)
+            with TRACER.span("engine.topk", k=k, tau=tau) as span:
+                # Racy fast path: a hit for the version we just read is
+                # valid by keying even if a writer lands concurrently --
+                # the answer was current at some instant inside this
+                # request.
+                version = self._dyn.graph_version
+                hit, payload = self._cache.get((k, tau, version))
+                if hit:
+                    span.set(cache="hit", graph_version=version)
+                    return dict(payload, cached=True, batched=1)
+                span.set(cache="miss")
+                payload, batch_requests = self._batcher.submit((k, tau))
+                span.set(batched=batch_requests)
+                return dict(payload, cached=False, batched=batch_requests)
 
     def score(self, u, v, tau: int = 2) -> Dict[str, Any]:
         """Structural diversity of one edge at threshold ``tau``."""
@@ -231,7 +298,9 @@ class QueryEngine:
                 f"action must be 'insert' or 'delete', got {action!r}"
             )
         with self.metrics.timed("update"):
-            with self._lock.write_locked():
+            with TRACER.span(
+                "engine.update", action=action, edge=[u, v]
+            ) as span, self._lock.write_locked():
                 if self._store is not None:
                     edge = canonical_edge(u, v)  # rejects self-loops early
                     exists = self._dyn.graph.has_edge(u, v)
@@ -261,6 +330,11 @@ class QueryEngine:
                         if change.changed:
                             watch.unread.append(change)
                             notified += 1
+                span.set(
+                    graph_version=version,
+                    edges_rescored=stats.edges_rescored,
+                    watches_notified=notified,
+                )
                 return {
                     "applied": True,
                     "action": action,
@@ -325,12 +399,12 @@ class QueryEngine:
     # -- observability --------------------------------------------------------
 
     def metrics_snapshot(self) -> Dict[str, Any]:
-        """The ``/metrics`` payload: endpoints, cache, batcher, lock."""
-        snapshot = self.metrics.snapshot()
-        snapshot["cache"] = self._cache.stats()
-        snapshot["batcher"] = self._batcher.stats()
-        snapshot["lock"] = self._lock.snapshot()
-        snapshot["graph_version"] = self._dyn.graph_version
-        if self._store is not None:
-            snapshot["persistence"] = self._store.stats()
-        return snapshot
+        """The ``/metrics`` payload, from the unified registry.
+
+        One document folding endpoint latencies and counters with every
+        component's stats (cache, batcher, lock, persistence), the
+        core-layer counters, the slow-query ring, the invariant-sampler
+        status and the tracer state -- see
+        :class:`repro.obs.registry.UnifiedRegistry`.
+        """
+        return self.obs.snapshot()

@@ -10,24 +10,36 @@ over all time).
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Deque, Dict, Iterator
+from typing import Callable, Deque, Dict, Iterator, Optional
 
 #: Per-endpoint latency samples retained for quantile estimation.
 SAMPLE_WINDOW = 4096
 
+#: Observation hook signature: ``(endpoint, seconds, error)``.
+ObserveHook = Callable[[str, float, bool], object]
+
 
 def percentile(samples, fraction: float) -> float:
-    """Nearest-rank percentile of ``samples`` (0.0 for an empty list)."""
+    """Ceil-based nearest-rank percentile of ``samples`` (0.0 if empty).
+
+    The rank is ``ceil(fraction * (n - 1))`` -- always rounded *up*, so
+    a reported pXX is never below the true quantile.  The previous
+    implementation used ``round()`` (banker's rounding), which rounded
+    *down* exactly where it matters: p99 over a 100-sample window
+    returned the 99th-worst sample instead of the worst, systematically
+    under-reporting tail latency.
+    """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
     ordered = sorted(samples)
     if not ordered:
         return 0.0
-    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    rank = min(len(ordered) - 1, math.ceil(fraction * (len(ordered) - 1)))
     return ordered[rank]
 
 
@@ -60,13 +72,20 @@ class EndpointMetrics:
 
 
 class MetricsRegistry:
-    """Thread-safe collection of endpoint metrics plus free-form counters."""
+    """Thread-safe collection of endpoint metrics plus free-form counters.
 
-    def __init__(self) -> None:
+    ``on_observe``, if given, is invoked as ``(endpoint, seconds, error)``
+    after every observation, outside the registry lock -- the hook the
+    slow-query log rides on.  Hook exceptions are swallowed: metrics
+    plumbing must never fail the request it measures.
+    """
+
+    def __init__(self, on_observe: Optional[ObserveHook] = None) -> None:
         self._lock = threading.Lock()
         self._endpoints: Dict[str, EndpointMetrics] = {}
         self._counters: Dict[str, int] = {}
         self._started = time.time()
+        self._on_observe = on_observe
 
     def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
         with self._lock:
@@ -74,6 +93,11 @@ class MetricsRegistry:
             if metrics is None:
                 metrics = self._endpoints[endpoint] = EndpointMetrics()
             metrics.observe(seconds, error)
+        if self._on_observe is not None:
+            try:
+                self._on_observe(endpoint, seconds, error)
+            except Exception:
+                pass
 
     @contextmanager
     def timed(self, endpoint: str) -> Iterator[None]:

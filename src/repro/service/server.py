@@ -42,6 +42,10 @@ class ServerConfig:
     data_dir: Optional[str] = None  #: durable snapshot+WAL directory
     snapshot_interval: int = 1000  #: mutations between WAL compactions
     fsync: bool = True  #: fsync each WAL append (durable acks)
+    slow_query_threshold: float = 0.25  #: seconds; 0 disables the slow log
+    slow_log_capacity: int = 128  #: slow-query ring-buffer entries
+    invariant_check_interval: int = 0  #: mutations between sampled checks (0 = off)
+    invariant_sample_size: int = 8  #: edges verified per sampled check
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -53,6 +57,16 @@ class ServerConfig:
         if self.snapshot_interval < 1:
             raise ValueError(
                 f"snapshot_interval must be >= 1, got {self.snapshot_interval}"
+            )
+        if self.slow_query_threshold < 0:
+            raise ValueError(
+                f"slow_query_threshold must be >= 0, got "
+                f"{self.slow_query_threshold}"
+            )
+        if self.invariant_check_interval < 0:
+            raise ValueError(
+                f"invariant_check_interval must be >= 0, got "
+                f"{self.invariant_check_interval}"
             )
 
 
@@ -115,6 +129,10 @@ class ESDServer:
                 snapshot_interval=self.config.snapshot_interval,
                 cache_size=self.config.cache_size,
                 batch_window=self.config.batch_window,
+                slow_query_threshold=self.config.slow_query_threshold,
+                slow_log_capacity=self.config.slow_log_capacity,
+                invariant_check_interval=self.config.invariant_check_interval,
+                invariant_sample_size=self.config.invariant_sample_size,
             )
         else:
             if graph is None:
@@ -123,6 +141,10 @@ class ESDServer:
                 graph,
                 cache_size=self.config.cache_size,
                 batch_window=self.config.batch_window,
+                slow_query_threshold=self.config.slow_query_threshold,
+                slow_log_capacity=self.config.slow_log_capacity,
+                invariant_check_interval=self.config.invariant_check_interval,
+                invariant_sample_size=self.config.invariant_sample_size,
             )
         self._admission = threading.Semaphore(self.config.max_pending)
         self._tcp = _TCPServer((self.config.host, self.config.port), self)

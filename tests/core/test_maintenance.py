@@ -174,3 +174,66 @@ class TestRandomEditScripts:
         for tau in (1, 2, 3):
             exact = [(e, s) for e, s in topk_exact(dyn.graph, 10, tau) if s > 0]
             assert dyn.topk(10, tau) == exact
+
+
+class TestSelfLoopRejection:
+    """Self-loops must be rejected loudly at every entry point, leaving
+    graph, M and index bit-for-bit untouched (no partial application)."""
+
+    def test_insert_edge_rejected_index_untouched(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        before = dyn.export_state()
+        with pytest.raises(ValueError, match="self-loop"):
+            dyn.insert_edge("a", "a")
+        assert dyn.graph_version == 0
+        assert dyn.export_state() == before
+        dyn.check_invariants()
+
+    def test_delete_edge_self_loop_reports_not_in_graph(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        with pytest.raises(KeyError, match="not in graph"):
+            dyn.delete_edge("a", "a")
+        assert dyn.graph_version == 0
+
+    def test_insert_vertex_rejected_atomically(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        before = dyn.export_state()
+        # Sorted neighbor order would insert ("z", "a") and ("z", "b")
+        # before reaching the self-loop -- the rejection must come first.
+        with pytest.raises(ValueError, match="self-loop"):
+            dyn.insert_vertex("z", ["a", "z", "b"])
+        assert dyn.graph_version == 0
+        assert not dyn.graph.has_edge("z", "a")
+        assert not dyn.graph.has_edge("z", "b")
+        assert "z" not in dyn.graph
+        assert dyn.export_state() == before
+        dyn.check_invariants()
+
+    def test_apply_batch_rejected_before_any_update(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        before = dyn.export_state()
+        # Deletions run first in a valid batch; a self-loop anywhere in
+        # the batch must reject before even the deletions are applied.
+        with pytest.raises(ValueError, match="self-loop"):
+            dyn.apply_batch(
+                insertions=[("a", "p"), ("q", "q")],
+                deletions=[("a", "b")],
+            )
+        assert dyn.graph_version == 0
+        assert dyn.graph.has_edge("a", "b")  # the deletion never ran
+        assert not dyn.graph.has_edge("a", "p")
+        assert dyn.export_state() == before
+
+    def test_apply_batch_self_loop_in_deletions(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        with pytest.raises(ValueError, match="self-loop"):
+            dyn.apply_batch(deletions=[("a", "b"), ("c", "c")])
+        assert dyn.graph.has_edge("a", "b")
+        assert dyn.graph_version == 0
+
+    def test_valid_vertex_insert_still_works(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        stats = dyn.insert_vertex("z", ["a", "b"])
+        assert len(stats) == 2
+        assert dyn.graph_version == 2
+        dyn.check_invariants()

@@ -90,3 +90,45 @@ class TestPruningInstrumentation:
         _, s1 = topk_online(g, 1, 2, with_stats=True)
         _, s2 = topk_online(g, 50, 2, with_stats=True)
         assert s1.evaluated <= s2.evaluated
+
+
+class TestTiedTopKOrdering:
+    """Many edges share a score in real graphs; the output order of a
+    tied block must be deterministic (ascending edge id, the heap's
+    tie-break) so repeated runs and the exact/online variants agree."""
+
+    def test_two_triangles_all_tied(self):
+        g = Graph([(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+        assert topk_online(g, 6, 1) == [
+            ((0, 1), 1), ((0, 2), 1), ((1, 2), 1),
+            ((3, 4), 1), ((3, 5), 1), ((4, 5), 1),
+        ]
+
+    def test_tied_prefixes_are_stable_for_every_k(self):
+        g = Graph([(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+        full = topk_online(g, 6, 1)
+        for k in range(1, 7):
+            assert topk_online(g, k, 1) == full[:k]
+
+    def test_online_and_exact_agree_on_tied_blocks(self):
+        g = Graph([(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+        for k in range(1, 7):
+            assert topk_online(g, k, 1) == topk_exact(g, k, 1)
+
+    def test_bound_rules_agree_on_tie_order(self):
+        g = Graph([(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+        assert topk_online(g, 6, 1, bound="min-degree") == topk_online(
+            g, 6, 1, bound="common-neighbor"
+        )
+
+
+class TestBoundEvaluationCounters:
+    def test_bound_evaluations_count_every_edge(self, fig1):
+        _, stats = topk_online(fig1, 3, 2, with_stats=True)
+        assert stats.bound_evaluations == fig1.m
+
+    def test_heap_stale_skips_surface(self, fig1):
+        _, stats = topk_online(fig1, 3, 2, with_stats=True)
+        assert stats.heap_stale_skips >= 0
+        # Skips can never exceed the re-pushed (evaluated) entries.
+        assert stats.heap_stale_skips <= stats.evaluated

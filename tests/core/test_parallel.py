@@ -90,3 +90,41 @@ class TestSpeedupSimulation:
             "threads", "serial_seconds", "parallel_seconds", "speedup"
         }
         assert r["parallel_seconds"] > 0
+
+
+class TestPoolLifecycle:
+    """Regression: the pool used to be created inside a generator, so an
+    abandoned iterator suspended mid-``with`` kept the worker processes
+    alive and ``_WORKER_DAG`` pinned until GC ran the generator's
+    finalizer.  Enumeration is eager now: by the time the iterator is
+    handed back, the pool is torn down and the module state cleared."""
+
+    def test_abandoned_iterator_leaks_no_workers(self):
+        import multiprocessing
+        import time as _time
+
+        from repro.core import parallel as parallel_mod
+
+        g = erdos_renyi(40, 0.25, seed=7)
+        before = {p.pid for p in multiprocessing.active_children()}
+        iterator = parallel_four_cliques(g, threads=2)
+        next(iterator, None)  # partially consume ...
+        # ... then abandon it.  No GC needed: the pool must already be
+        # gone and the fork-inherited module state already cleared.
+        assert parallel_mod._WORKER_DAG is None
+        deadline = _time.time() + 10
+        while _time.time() < deadline:
+            leaked = {
+                p.pid for p in multiprocessing.active_children()
+            } - before
+            if not leaked:
+                break
+            _time.sleep(0.05)
+        assert not leaked, f"worker processes outlived the call: {leaked}"
+
+    def test_inline_path_also_clears_state(self, fig1):
+        from repro.core import parallel as parallel_mod
+
+        iterator = parallel_four_cliques(fig1, threads=1)
+        assert parallel_mod._WORKER_DAG is None
+        assert list(iterator)  # the results themselves are still intact

@@ -1,0 +1,12 @@
+"""Keep the process-wide tracer clean around every obs test."""
+
+import pytest
+
+from repro.obs.trace import TRACER
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_tracer():
+    """Any test that configures ``TRACER`` leaves it disabled again."""
+    yield
+    TRACER.disable()

@@ -1,0 +1,77 @@
+"""profile_cycle tests: stage coverage, span attribution, counters."""
+
+import pytest
+
+from repro.obs.profile import STAGES, profile_cycle
+from repro.obs.trace import Tracer
+from repro.obs.sinks import CollectingSink
+
+
+@pytest.fixture
+def report(fig1):
+    # The default (process-wide) tracer: the core/persistence
+    # instrumentation emits there, so the report sees the child spans.
+    return profile_cycle(fig1, k=5, tau=2, repeat=2, updates=3)
+
+
+class TestProfileCycle:
+    def test_all_stages_present_with_durations(self, report):
+        assert set(report.stages) == set(STAGES)
+        for stage in STAGES:
+            assert report.stages[stage]["total_ms"] >= 0
+
+    def test_stage_span_attribution(self, report):
+        # query: 2 indexed topk + 1 online run; update: 3 deletes + 3 inserts.
+        assert report.stages["query"]["spans"] == 3
+        assert report.stages["update"]["spans"] == 6
+        assert report.stages["persist"]["spans"] >= 3  # snapshot + appends
+
+    def test_span_aggregates_cover_hot_operations(self, report):
+        names = {agg["name"] for agg in report.span_aggregates}
+        assert {
+            "index.topk", "index.insert_edge", "index.delete_edge",
+            "wal.append", "store.snapshot",
+        } <= names
+        topk = next(a for a in report.span_aggregates if a["name"] == "index.topk")
+        assert topk["count"] == 2
+        # Both fields are independently rounded to 4 decimal places.
+        assert topk["mean_ms"] == pytest.approx(topk["total_ms"] / 2, abs=1e-4)
+
+    def test_counters_fold_core_and_online_groups(self, report):
+        assert report.counters["core.insertions"] == 3
+        assert report.counters["core.deletions"] == 3
+        assert report.counters["core.edges_rescored"] > 0
+        assert report.counters["online.bound_evaluations"] > 0
+        assert "online.heap_stale_skips" in report.counters
+
+    def test_render_is_printable(self, report):
+        text = report.render()
+        for stage in STAGES:
+            assert stage in text
+        assert "counters:" in text
+        assert "core.edges_rescored" in text
+
+    def test_graph_left_intact(self, fig1):
+        before = sorted(fig1.edge_list())
+        profile_cycle(fig1, repeat=1, updates=4)
+        assert sorted(fig1.edge_list()) == before
+
+    def test_restores_tracer_state(self, fig1):
+        tracer = Tracer()
+        sink = CollectingSink()
+        tracer.configure(sink)
+        profile_cycle(fig1, repeat=1, updates=0, tracer=tracer)
+        assert tracer.enabled is True
+        assert tracer.sink is sink
+        # And a fully disabled tracer stays disabled afterwards.
+        fresh = Tracer()
+        profile_cycle(fig1, repeat=1, updates=0, tracer=fresh)
+        assert fresh.enabled is False
+        assert fresh.sink is None
+
+    def test_parameter_validation(self, fig1):
+        for bad in [
+            {"k": 0}, {"tau": 0}, {"repeat": 0}, {"updates": -1},
+        ]:
+            with pytest.raises(ValueError):
+                profile_cycle(fig1, tracer=Tracer(), **bad)

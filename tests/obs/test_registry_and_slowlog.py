@@ -1,0 +1,119 @@
+"""UnifiedRegistry composition and SlowQueryLog ring-buffer tests."""
+
+import pytest
+
+from repro.obs.registry import UnifiedRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.service.metrics import MetricsRegistry
+
+
+class TestUnifiedRegistry:
+    def test_standalone_snapshot_is_sources_only(self):
+        registry = UnifiedRegistry()
+        registry.add_source("cache", lambda: {"hits": 3})
+        registry.add_source("scalar", lambda: 7)
+        assert registry.snapshot() == {"cache": {"hits": 3}, "scalar": 7}
+
+    def test_wraps_base_metrics_registry(self):
+        metrics = MetricsRegistry()
+        registry = UnifiedRegistry(metrics)
+        registry.incr("requests", 2)
+        registry.add_source("extra", lambda: {"x": 1})
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"requests": 2}
+        assert snapshot["extra"] == {"x": 1}
+        assert "endpoints" in snapshot
+
+    def test_failing_source_contributes_error_stanza(self):
+        registry = UnifiedRegistry()
+
+        def broken():
+            raise KeyError("gone")
+
+        registry.add_source("ok", lambda: 1)
+        registry.add_source("broken", broken)
+        snapshot = registry.snapshot()
+        assert snapshot["ok"] == 1
+        assert snapshot["broken"] == {"error": "KeyError: 'gone'"}
+
+    def test_sources_polled_lazily_per_snapshot(self):
+        registry = UnifiedRegistry()
+        counter = {"n": 0}
+
+        def source():
+            counter["n"] += 1
+            return counter["n"]
+
+        registry.add_source("live", source)
+        assert counter["n"] == 0  # registration polls nothing
+        assert registry.snapshot()["live"] == 1
+        assert registry.snapshot()["live"] == 2
+
+    def test_replace_and_remove_sources(self):
+        registry = UnifiedRegistry()
+        registry.add_source("a", lambda: 1)
+        registry.add_source("a", lambda: 2)  # replaces
+        assert registry.snapshot() == {"a": 2}
+        assert registry.remove_source("a") is True
+        assert registry.remove_source("a") is False
+        assert registry.snapshot() == {}
+
+    def test_non_callable_source_rejected(self):
+        with pytest.raises(TypeError):
+            UnifiedRegistry().add_source("bad", 42)
+
+
+class TestSlowQueryLog:
+    def test_records_only_above_threshold(self):
+        log = SlowQueryLog(threshold=0.1, capacity=8)
+        assert log.record("topk", 0.05) is False
+        assert log.record("topk", 0.2) is True
+        (entry,) = log.entries()
+        assert entry["endpoint"] == "topk"
+        assert entry["duration_ms"] == 200.0
+
+    def test_zero_threshold_disables(self):
+        log = SlowQueryLog(threshold=0.0)
+        assert log.enabled is False
+        assert log.record("topk", 100.0) is False
+        assert log.entries() == []
+
+    def test_ring_keeps_most_recent(self):
+        log = SlowQueryLog(threshold=0.01, capacity=3)
+        for i in range(6):
+            log.record(f"op{i}", 0.05)
+        endpoints = [e["endpoint"] for e in log.entries()]
+        assert endpoints == ["op3", "op4", "op5"]
+        assert log.snapshot()["recorded"] == 6  # total ever, not retained
+
+    def test_error_and_detail_recorded(self):
+        log = SlowQueryLog(threshold=0.01)
+        log.record("update", 0.05, True, action="insert")
+        (entry,) = log.entries()
+        assert entry["error"] is True
+        assert entry["detail"] == {"action": "insert"}
+
+    def test_snapshot_shape(self):
+        log = SlowQueryLog(threshold=0.25, capacity=16)
+        snapshot = log.snapshot()
+        assert snapshot == {
+            "enabled": True,
+            "threshold_ms": 250.0,
+            "capacity": 16,
+            "recorded": 0,
+            "entries": [],
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold=-1)
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+    def test_shadows_metrics_registry_observations(self):
+        """Wired as the registry hook, slow endpoints land in the log."""
+        log = SlowQueryLog(threshold=0.001)
+        registry = MetricsRegistry(on_observe=log.record)
+        registry.observe("slow_op", 0.5)
+        registry.observe("fast_op", 0.0)
+        assert [e["endpoint"] for e in log.entries()] == ["slow_op"]

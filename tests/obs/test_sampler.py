@@ -1,0 +1,111 @@
+"""InvariantSampler tests: cadence, detection, strict mode, reporting."""
+
+import pytest
+
+from repro.core import DynamicESDIndex
+from repro.obs.sampler import InvariantSampler, InvariantViolation
+
+
+class TestCadence:
+    def test_checks_every_n_mutations(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        sampler = InvariantSampler(dyn, every=3)
+        ran = [sampler.on_mutation(i) for i in range(1, 7)]
+        assert ran == [False, False, True, False, False, True]
+        assert sampler.checks == 2
+        assert sampler.last_check_version == 6
+
+    def test_wired_through_subscribe(self, fig1):
+        """The serve-loop wiring: index mutations drive the sampler."""
+        dyn = DynamicESDIndex(fig1)
+        sampler = InvariantSampler(dyn, every=2, strict=True)
+        dyn.subscribe(lambda kind, edge, ver: sampler.on_mutation(ver))
+        dyn.insert_edge("a", "p")
+        dyn.delete_edge("a", "p")
+        dyn.insert_edge("a", "p")
+        dyn.delete_edge("a", "p")
+        assert sampler.checks == 2
+        assert sampler.violations == []
+
+    def test_validation(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        with pytest.raises(ValueError):
+            InvariantSampler(dyn, every=0)
+        with pytest.raises(ValueError):
+            InvariantSampler(dyn, every=1, sample_size=0)
+
+
+class TestDetection:
+    def test_healthy_index_passes(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        sampler = InvariantSampler(dyn, every=1, sample_size=64, strict=True)
+        assert sampler.check_now() == dyn.graph.m  # sample covers all edges
+        assert sampler.violations == []
+
+    def test_empty_graph_checks_nothing(self):
+        from repro.graph import Graph
+
+        dyn = DynamicESDIndex(Graph())
+        sampler = InvariantSampler(dyn, every=1)
+        assert sampler.check_now() == 0
+        assert sampler.checks == 1
+
+    def _corrupt_one_edge(self, dyn):
+        """Silently damage M for some edge that has common neighbors."""
+        for edge in dyn.graph.edges():
+            m = dyn.components_of(edge)
+            if m.members():
+                m.add("__ghost__")  # a member recomputation will not have
+                return edge
+        raise AssertionError("fixture graph has no edge with a 4-clique")
+
+    def test_detects_corruption_and_records(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        edge = self._corrupt_one_edge(dyn)
+        # Sample all edges so the damaged one is definitely drawn.
+        sampler = InvariantSampler(dyn, every=1, sample_size=dyn.graph.m)
+        sampler.check_now(version=41)
+        assert sampler.violations, "corruption went undetected"
+        violation = sampler.violations[0]
+        assert violation["edge"] == list(edge)
+        assert violation["graph_version"] == 41
+        status = sampler.status()
+        assert status["violations"] >= 1
+        assert status["recent_violations"]
+
+    def test_strict_mode_raises(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        edge = self._corrupt_one_edge(dyn)
+        sampler = InvariantSampler(
+            dyn, every=1, sample_size=dyn.graph.m, strict=True
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            sampler.check_now()
+        assert excinfo.value.edge == edge
+        assert isinstance(excinfo.value, AssertionError)
+
+    def test_violation_history_bounded(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        self._corrupt_one_edge(dyn)
+        sampler = InvariantSampler(dyn, every=1, sample_size=dyn.graph.m)
+        for _ in range(40):
+            sampler.check_now()
+        assert len(sampler.violations) <= 32
+
+
+class TestStatus:
+    def test_status_shape(self, fig1):
+        dyn = DynamicESDIndex(fig1)
+        sampler = InvariantSampler(dyn, every=5, sample_size=4)
+        status = sampler.status()
+        assert status == {
+            "enabled": True,
+            "every": 5,
+            "sample_size": 4,
+            "strict": False,
+            "checks": 0,
+            "edges_checked": 0,
+            "violations": 0,
+            "recent_violations": [],
+            "last_check_version": None,
+        }

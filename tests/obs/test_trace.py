@@ -1,0 +1,198 @@
+"""Tracer and sink unit tests: spans, nesting, sinks, failure modes."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.sinks import CollectingSink, JsonlSink, NullSink, span_tree
+from repro.obs.trace import TRACER, NullSpan, Tracer
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        a = tracer.span("x", k=1)
+        b = tracer.span("y")
+        assert isinstance(a, NullSpan)
+        assert a is b  # one shared instance, no allocation per call
+
+    def test_null_span_supports_full_surface(self):
+        tracer = Tracer()
+        with tracer.span("x", k=1) as span:
+            span.set(results=3)
+            assert span.enabled is False
+
+    def test_nothing_emitted_while_disabled(self):
+        tracer = Tracer()
+        sink = CollectingSink()
+        tracer.configure(sink)
+        tracer.disable()
+        with tracer.span("x"):
+            pass
+        assert sink.records == []
+        assert tracer.sink is None
+
+    def test_enable_requires_sink(self):
+        with pytest.raises(ValueError):
+            Tracer().configure(None)
+
+
+class TestEnabledTracer:
+    def test_span_records_name_duration_attrs(self):
+        tracer = Tracer()
+        sink = CollectingSink()
+        tracer.configure(sink)
+        with tracer.span("index.topk", k=5, tau=2) as span:
+            span.set(results=5)
+        (record,) = sink.records
+        assert record["name"] == "index.topk"
+        assert record["attrs"] == {"k": 5, "tau": 2, "results": 5}
+        assert record["duration_ms"] >= 0
+        assert record["parent_id"] is None
+        assert record["trace_id"] == record["span_id"]
+
+    def test_nesting_assigns_parent_and_trace_ids(self):
+        tracer = Tracer()
+        sink = CollectingSink()
+        tracer.configure(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        by_name = {r["name"]: r for r in sink.records}
+        assert by_name["middle"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["inner"]["parent_id"] == by_name["middle"]["span_id"]
+        assert {r["trace_id"] for r in sink.records} == {outer.span_id}
+        # Children close (and emit) before their parent.
+        assert [r["name"] for r in sink.records] == ["inner", "middle", "outer"]
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = Tracer()
+        sink = CollectingSink()
+        tracer.configure(sink)
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = sink.records
+        assert first["trace_id"] != second["trace_id"]
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        sink = CollectingSink()
+        tracer.configure(sink)
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("op"):
+                raise RuntimeError("boom")
+        (record,) = sink.records
+        assert record["error"] == "RuntimeError: boom"
+        # The stack unwound cleanly: the next span is a root again.
+        with tracer.span("after"):
+            pass
+        assert sink.records[-1]["parent_id"] is None
+
+    def test_broken_sink_never_breaks_the_operation(self):
+        tracer = Tracer()
+
+        def explode(record):
+            raise OSError("disk full")
+
+        tracer.configure(explode)
+        with tracer.span("op"):
+            pass  # must not raise
+        assert tracer.emit_errors == 1
+        assert tracer.spans_emitted == 0
+
+    def test_callable_sink_supported(self):
+        tracer = Tracer()
+        seen = []
+        tracer.configure(seen.append)
+        with tracer.span("op"):
+            pass
+        assert [r["name"] for r in seen] == ["op"]
+
+    def test_threads_keep_separate_stacks(self):
+        tracer = Tracer()
+        sink = CollectingSink()
+        tracer.configure(sink)
+        ready = threading.Barrier(2, timeout=5)
+
+        def worker(name):
+            ready.wait()
+            with tracer.span(name):
+                pass
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        # Neither thread's span adopted the other as parent.
+        assert all(r["parent_id"] is None for r in sink.records)
+
+    def test_status_counts_emissions(self):
+        tracer = Tracer()
+        tracer.configure(CollectingSink())
+        with tracer.span("a"):
+            pass
+        status = tracer.status()
+        assert status["enabled"] is True
+        assert status["sink"] == "CollectingSink"
+        assert status["spans_emitted"] == 1
+        assert status["emit_errors"] == 0
+
+    def test_global_tracer_exists_and_starts_disabled(self):
+        assert TRACER.enabled is False
+
+
+class TestSinks:
+    def test_jsonl_sink_roundtrip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer()
+        with JsonlSink(path) as sink:
+            tracer.configure(sink)
+            with tracer.span("a", k=1):
+                with tracer.span("b"):
+                    pass
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["b", "a"]
+        assert records[0]["parent_id"] == records[1]["span_id"]
+        assert sink.emitted == 2
+
+    def test_jsonl_sink_wraps_open_stream_without_closing(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with open(path, "w", encoding="utf-8") as stream:
+            sink = JsonlSink(stream)
+            sink.emit({"name": "x"})
+            sink.close()  # does not own the stream
+            assert not stream.closed
+
+    def test_collecting_sink_capacity(self):
+        sink = CollectingSink(capacity=2)
+        for i in range(5):
+            sink.emit({"name": str(i)})
+        assert len(sink) == 2
+        assert sink.dropped == 3
+        sink.clear()
+        assert len(sink) == 0 and sink.dropped == 0
+
+    def test_null_sink_counts(self):
+        sink = NullSink()
+        sink.emit({"name": "x"})
+        assert sink.emitted == 1
+
+    def test_span_tree_indexes_by_parent(self):
+        records = [
+            {"name": "root", "span_id": "1", "parent_id": None},
+            {"name": "child-a", "span_id": "2", "parent_id": "1"},
+            {"name": "child-b", "span_id": "3", "parent_id": "1"},
+            {"name": "grandchild", "span_id": "4", "parent_id": "2"},
+        ]
+        tree = span_tree(records)
+        assert [r["name"] for r in tree[None]] == ["root"]
+        assert [r["name"] for r in tree["1"]] == ["child-a", "child-b"]
+        assert [r["name"] for r in tree["2"]] == ["grandchild"]

@@ -117,6 +117,72 @@ class TestResultCache:
         with pytest.raises(ValueError):
             ResultCache(capacity=0)
 
+    def test_purge_stale_rejects_schema_violating_keys(self):
+        """Regression: a non-``(..., version)`` key used to be silently
+        skipped by ``purge_stale`` and retained forever; it is a caller
+        bug and must fail loudly instead."""
+        cache = ResultCache(capacity=8)
+        cache.put((10, 2, 3), "fine")
+        cache.put("just-a-string", "schema violation")
+        with pytest.raises(ValueError, match="tuple schema"):
+            cache.purge_stale(4)
+
+    def test_purge_stale_rejects_bool_version_component(self):
+        # bool is an int subtype but never a graph version.
+        cache = ResultCache(capacity=8)
+        cache.put((10, 2, True), "x")
+        with pytest.raises(ValueError, match="tuple schema"):
+            cache.purge_stale(1)
+
+    def test_stats_snapshot_is_internally_consistent(self):
+        cache = ResultCache(capacity=4)
+        cache.put((1, 1, 0), "a")
+        cache.get((1, 1, 0))
+        cache.get((9, 9, 0))
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["size"] == 1 and stats["capacity"] == 4
+
+    def test_stats_consistent_under_concurrent_load(self):
+        """Regression: ``stats()``/``hit_rate`` used to read the counters
+        field-by-field outside ``_lock``, so a snapshot could report a
+        hit rate computed from different counter values than the ones in
+        the same snapshot.  Every snapshot must now satisfy
+        ``hit_rate == round(hits / (hits + misses), 4)`` exactly."""
+        import random
+
+        cache = ResultCache(capacity=32)
+        stop = threading.Event()
+
+        def hammer(seed):
+            rng = random.Random(seed)
+            while not stop.is_set():
+                key = (rng.randrange(12), 2, 0)
+                hit, _ = cache.get(key)
+                if not hit:
+                    cache.put(key, "payload")
+
+        workers = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(4)
+        ]
+        for t in workers:
+            t.start()
+        try:
+            for _ in range(300):
+                stats = cache.stats()
+                total = stats["hits"] + stats["misses"]
+                if total:
+                    assert stats["hit_rate"] == round(
+                        stats["hits"] / total, 4
+                    )
+                assert cache.hit_rate <= 1.0
+        finally:
+            stop.set()
+            for t in workers:
+                t.join(timeout=5)
+        assert not any(t.is_alive() for t in workers)
+
 
 class TestMetrics:
     def test_percentile_nearest_rank(self):
@@ -145,6 +211,46 @@ class TestMetrics:
         registry.incr("rejected", 3)
         registry.incr("rejected")
         assert registry.snapshot()["counters"] == {"rejected": 4}
+
+
+class TestPercentileBoundaries:
+    """Regression for the ceil-based nearest rank: ``round()`` (banker's
+    rounding) under-reported the tail -- p99 over a full 100-sample
+    window returned the 99th-worst sample instead of the worst."""
+
+    def test_single_sample_is_every_percentile(self):
+        for fraction in (0.0, 0.5, 0.99, 1.0):
+            assert percentile([42], fraction) == 42
+
+    def test_p99_over_100_samples_is_the_maximum(self):
+        samples = list(range(1, 101))
+        # ceil(0.99 * 99) = 99 -> the worst sample; round() gave 98 -> 99.
+        assert percentile(samples, 0.99) == 100
+
+    def test_boundary_fractions_over_100_samples(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 0.0) == 1
+        assert percentile(samples, 0.5) == 51
+        assert percentile(samples, 1.0) == 100
+
+    def test_two_samples_round_up(self):
+        assert percentile([1, 2], 0.5) == 2  # ceil(0.5 * 1) = 1
+        assert percentile([1, 2], 0.99) == 2
+        assert percentile([1, 2], 0.0) == 1
+
+    def test_never_below_true_quantile(self):
+        """Ceil rounding means at least ``fraction`` of the samples are
+        <= the reported value, for every window size."""
+        for n in (1, 2, 3, 7, 100, 101):
+            samples = list(range(n))
+            for fraction in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+                value = percentile(samples, fraction)
+                at_or_below = sum(1 for s in samples if s <= value)
+                assert at_or_below / n >= fraction
+
+    def test_unsorted_input_handled(self):
+        assert percentile([5, 1, 9, 3], 1.0) == 9
+        assert percentile([5, 1, 9, 3], 0.0) == 1
 
 
 class TestTopKBatcher:

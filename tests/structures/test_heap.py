@@ -109,3 +109,44 @@ class TestLazyMaxHeap:
         assert {i: p for i, p in drained} == latest
         prios = [p for _, p in drained]
         assert prios == sorted(prios, reverse=True)
+
+
+class TestRepushSamePriority:
+    """Algorithm 1 re-pushes an edge with its exact score; when the bound
+    already *equals* the exact score the re-push duplicates the heap entry
+    and the duplicate must be skipped as stale, not double-delivered."""
+
+    def test_duplicate_entry_is_stale_not_double_delivered(self):
+        heap = LazyMaxHeap()
+        heap.push(("a", "b"), 5)
+        heap.push(("a", "b"), 5)  # bound == exact score
+        assert len(heap) == 1
+        assert heap.pop() == (("a", "b"), 5)
+        assert not heap
+        with pytest.raises(IndexError):
+            heap.pop()  # the leftover duplicate is skipped, never returned
+        assert heap.stale_skips == 1
+
+    def test_stale_accounting_across_many_repushes(self):
+        heap = LazyMaxHeap()
+        edges = [(0, 1), (0, 2), (1, 2)]
+        for edge in edges:
+            heap.push(edge, 3)
+        for edge in edges:
+            heap.push(edge, 3)  # exact == bound for every edge
+        assert len(heap) == 3
+        drained = []
+        while heap:
+            drained.append(heap.pop())
+        assert drained == [((0, 1), 3), ((0, 2), 3), ((1, 2), 3)]
+        heap.push((9, 9), 1)
+        assert heap.pop() == ((9, 9), 1)
+        assert heap.stale_skips == 3  # exactly the three duplicates
+
+    def test_tied_priorities_pop_in_ascending_edge_order(self):
+        heap = LazyMaxHeap()
+        edges = [(3, 4), (0, 9), (1, 2), (0, 2)]
+        for edge in edges:
+            heap.push(edge, 7)
+            heap.push(edge, 7)
+        assert [heap.pop()[0] for _ in range(len(edges))] == sorted(edges)

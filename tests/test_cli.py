@@ -115,6 +115,57 @@ class TestServe:
         args = build_parser().parse_args(["bench", "service"])
         assert args.experiment == "service"
 
+    def test_parser_wires_observability_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve", "--dataset", "dblp", "--port", "0",
+                "--slow-query-ms", "50",
+                "--check-invariants-every", "25",
+                "--trace", "/tmp/spans.jsonl",
+            ]
+        )
+        assert args.slow_query_ms == 50.0
+        assert args.slow_log_capacity == 128
+        assert args.check_invariants_every == 25
+        assert args.trace == "/tmp/spans.jsonl"
+
+
+class TestProfile:
+    def test_profile_prints_stage_breakdown(self, graph_file, capsys):
+        assert main(
+            ["profile", "--graph", graph_file, "-k", "3",
+             "--repeat", "2", "--updates", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        for stage in ("build", "query", "update", "persist"):
+            assert stage in out
+        assert "core.edges_rescored" in out
+        assert "online.bound_evaluations" in out
+
+    def test_profile_trace_out_writes_jsonl(self, graph_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "spans.jsonl"
+        assert main(
+            ["profile", "--graph", graph_file, "--repeat", "1",
+             "--updates", "1", "--trace-out", str(trace_path)]
+        ) == 0
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert records, "no spans written"
+        names = {r["name"] for r in records}
+        assert {"profile.build", "profile.query", "index.topk"} <= names
+
+    def test_profile_leaves_global_tracer_disabled(self, graph_file, capsys):
+        from repro.obs.trace import TRACER
+
+        assert main(["profile", "--graph", graph_file, "--repeat", "1"]) == 0
+        assert TRACER.enabled is False
+
 
 class TestBench:
     def test_table1(self, capsys):
