@@ -1,0 +1,342 @@
+"""Perf-regression harness: pinned workloads, per-op medians, BENCH files.
+
+``esd bench regress`` times every hot path of the library -- index
+construction, online top-k, indexed top-k, dynamic maintenance, triangle
+counting -- on pinned synthetic workloads, in **both** kernel modes
+(``csr`` and ``set``), and writes a ``BENCH_<tag>.json`` record to the
+repository root.  Committed BENCH files form a chain: each new run is
+compared against the most recent previous record and flagged when an op
+regresses beyond tolerance.
+
+Two metrics are supported for the comparison:
+
+* ``median`` -- raw kernel-mode median seconds.  Meaningful only on the
+  same machine that produced the baseline.
+* ``speedup`` -- the ``set_median / csr_median`` ratio.  Machine
+  independent (both modes run in the same process on the same data), so
+  it is what CI checks: a drop means the kernels lost ground against
+  the reference implementation, whatever the hardware.
+
+The default run times both the ``full`` and ``quick`` suites so a
+committed BENCH file can serve as the baseline for quick CI runs
+(``--quick``) and for full local runs alike.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.harness import ExperimentTable, Seconds
+from repro.core.build import build_index_fast
+from repro.core.maintenance import DynamicESDIndex
+from repro.core.online import topk_online
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.kernels.counters import KERNEL_COUNTERS
+from repro.kernels.dispatch import use_kernels
+
+#: Repository root -- where BENCH_*.json records live, next to README.md.
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Tag of the record this revision of the harness emits.
+BENCH_TAG = "PR5"
+
+#: Relative regression tolerance for baseline comparison (25%).
+DEFAULT_TOLERANCE = 0.25
+
+#: Pinned workloads.  Changing these invalidates baseline comparability,
+#: so treat them like a file-format version.
+SUITES: Dict[str, Dict[str, int | float]] = {
+    "full": {"n": 1200, "p": 0.015, "seed": 7, "k": 20, "tau": 2, "repeats": 5},
+    "quick": {"n": 600, "p": 0.022, "seed": 7, "k": 10, "tau": 2, "repeats": 5},
+}
+
+#: Op execution order (and display order).
+OPS = (
+    "build_index_fast",
+    "count_triangles",
+    "topk_online",
+    "topk_indexed",
+    "maintenance",
+)
+
+#: Ops whose csr-vs-set speedup the kernels are accountable for.
+SPEEDUP_OPS = ("build_index_fast", "count_triangles")
+
+
+def _median_seconds(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock seconds of ``repeats`` calls to ``fn``.
+
+    Collects garbage before the loop so debris from the previous op
+    (dropped indexes, bitset layers) is not charged to this one.
+    """
+    gc.collect()
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _make_ops(graph: Graph, k: int, tau: int) -> Dict[str, Callable[[], object]]:
+    """The pinned op closures, shared by both kernel modes.
+
+    The indexed-query and maintenance ops prepare their index inside the
+    closure-building step below (per mode), so only the steady-state
+    operation is timed.
+    """
+    from repro.cliques.triangles import count_triangles
+
+    index = build_index_fast(graph)
+    dyn = DynamicESDIndex(graph)
+    probe_edges = graph.edge_list()[: max(4, k)]
+
+    def op_maintenance() -> None:
+        for u, v in probe_edges:
+            dyn.delete_edge(u, v)
+            dyn.insert_edge(u, v)
+
+    def op_topk_indexed() -> None:
+        # A single indexed query is sub-microsecond; 50 per repeat keeps
+        # the measurement above clock jitter (both modes pay the same
+        # factor, so ratios are unaffected).
+        for _ in range(50):
+            index.topk(k, tau)
+
+    return {
+        "build_index_fast": lambda: build_index_fast(graph),
+        "count_triangles": lambda: count_triangles(graph),
+        "topk_online": lambda: topk_online(graph, k, tau),
+        "topk_indexed": op_topk_indexed,
+        "maintenance": op_maintenance,
+    }
+
+
+def run_suite(name: str) -> Dict:
+    """Time every op of suite ``name`` in both kernel modes."""
+    spec = SUITES[name]
+    graph = erdos_renyi(
+        int(spec["n"]), float(spec["p"]), seed=int(spec["seed"])
+    )
+    k, tau, repeats = int(spec["k"]), int(spec["tau"]), int(spec["repeats"])
+
+    result: Dict = {
+        "workload": {**spec, "m": graph.m},
+        "ops": {},
+    }
+    timings: Dict[str, Dict[str, float]] = {op: {} for op in OPS}
+    for mode in ("csr", "set"):
+        with use_kernels(mode):
+            ops = _make_ops(graph, k, tau)
+            if mode == "csr":
+                baseline = KERNEL_COUNTERS.snapshot()
+            for op in OPS:
+                timings[op][mode] = _median_seconds(ops[op], repeats)
+            if mode == "csr":
+                result["kernel_counters"] = KERNEL_COUNTERS.delta_since(
+                    baseline
+                )
+    for op in OPS:
+        csr_s, set_s = timings[op]["csr"], timings[op]["set"]
+        result["ops"][op] = {
+            "csr_median_s": csr_s,
+            "set_median_s": set_s,
+            "speedup": (set_s / csr_s) if csr_s > 0 else float("inf"),
+            "repeats": repeats,
+        }
+    return result
+
+
+def run_regress(quick: bool = False) -> Dict:
+    """Run the suites and return the BENCH payload (not yet persisted)."""
+    suite_names = ["quick"] if quick else ["full", "quick"]
+    return {
+        "bench": BENCH_TAG,
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "suites": {name: run_suite(name) for name in suite_names},
+    }
+
+
+# -- baseline comparison ------------------------------------------------------
+
+
+def find_baseline(output: Path) -> Optional[Path]:
+    """The most recent committed ``BENCH_*.json`` other than ``output``."""
+    candidates = sorted(
+        p
+        for p in REPO_ROOT.glob("BENCH_*.json")
+        if p.resolve() != output.resolve()
+    )
+    return candidates[-1] if candidates else None
+
+
+def _metric_value(op_record: Dict, metric: str) -> Optional[float]:
+    if metric == "median":
+        return op_record.get("csr_median_s")
+    if metric == "speedup":
+        return op_record.get("speedup")
+    raise ValueError(f"unknown metric {metric!r}; choose median or speedup")
+
+
+def compare(
+    current: Dict,
+    baseline: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    metric: str = "speedup",
+) -> Dict:
+    """Compare shared suites/ops of two BENCH payloads.
+
+    ``median`` regresses when the time grows by more than ``tolerance``;
+    ``speedup`` regresses when the ratio shrinks by more than
+    ``tolerance``.  Ops or suites present on only one side are reported
+    but never fail the comparison (the workload set may legitimately
+    grow between PRs).
+    """
+    entries: List[Dict] = []
+    regressions: List[str] = []
+    for suite, cur_suite in current.get("suites", {}).items():
+        base_suite = baseline.get("suites", {}).get(suite)
+        if base_suite is None:
+            continue
+        for op, cur_op in cur_suite.get("ops", {}).items():
+            base_op = base_suite.get("ops", {}).get(op)
+            if base_op is None:
+                entries.append(
+                    {"suite": suite, "op": op, "status": "new"}
+                )
+                continue
+            cur_v = _metric_value(cur_op, metric)
+            base_v = _metric_value(base_op, metric)
+            if not cur_v or not base_v:
+                entries.append(
+                    {"suite": suite, "op": op, "status": "incomparable"}
+                )
+                continue
+            if metric == "median":
+                ratio = cur_v / base_v  # >1 = slower
+                regressed = ratio > 1 + tolerance
+            else:
+                ratio = cur_v / base_v  # <1 = lost speedup
+                regressed = ratio < 1 - tolerance
+            status = "regression" if regressed else "ok"
+            entries.append(
+                {
+                    "suite": suite,
+                    "op": op,
+                    "status": status,
+                    "metric": metric,
+                    "current": cur_v,
+                    "baseline": base_v,
+                    "ratio": ratio,
+                }
+            )
+            if regressed:
+                regressions.append(f"{suite}/{op}")
+    return {
+        "metric": metric,
+        "tolerance": tolerance,
+        "baseline_bench": baseline.get("bench"),
+        "entries": entries,
+        "regressions": regressions,
+    }
+
+
+# -- presentation -------------------------------------------------------------
+
+
+def tables_for(payload: Dict) -> List[ExperimentTable]:
+    """Render the payload as paper-style tables (one per suite)."""
+    tables: List[ExperimentTable] = []
+    for suite, record in payload["suites"].items():
+        w = record["workload"]
+        table = ExperimentTable(
+            experiment="regress",
+            title=(
+                f"suite={suite} G(n={w['n']}, m={w['m']}) "
+                f"k={w['k']} tau={w['tau']}"
+            ),
+            columns=["op", "csr median", "set median", "speedup"],
+        )
+        for op, rec in record["ops"].items():
+            table.add_row(
+                op,
+                Seconds(rec["csr_median_s"]),
+                Seconds(rec["set_median_s"]),
+                f"{rec['speedup']:.2f}x",
+            )
+        counters = record.get("kernel_counters", {})
+        if counters:
+            hot = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(counters.items())
+                if value
+            )
+            table.note(f"kernel counters (csr pass): {hot}")
+        tables.append(table)
+    comparison = payload.get("comparison")
+    if comparison and comparison.get("entries"):
+        table = ExperimentTable(
+            experiment="regress",
+            title=(
+                f"vs baseline {comparison.get('baseline_bench')} "
+                f"(metric={comparison['metric']}, "
+                f"tolerance={comparison['tolerance']:.0%})"
+            ),
+            columns=["suite", "op", "status", "current", "baseline", "ratio"],
+        )
+        for entry in comparison["entries"]:
+            table.add_row(
+                entry["suite"],
+                entry["op"],
+                entry["status"],
+                _fmt_metric(entry.get("current")),
+                _fmt_metric(entry.get("baseline")),
+                f"{entry['ratio']:.2f}" if "ratio" in entry else "-",
+            )
+        tables.append(table)
+    return tables
+
+
+def _fmt_metric(value: Optional[float]) -> str:
+    return f"{value:.4g}" if isinstance(value, float) else "-"
+
+
+def run_and_persist(
+    quick: bool = False,
+    output: Optional[Path] = None,
+    baseline: Optional[Path] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    metric: str = "speedup",
+) -> Tuple[Dict, List[ExperimentTable], int]:
+    """Full CLI workflow: run, compare, persist, render.
+
+    Returns ``(payload, tables, exit_code)``; exit code 1 means at least
+    one op regressed beyond tolerance against the baseline.
+    """
+    output = output or (REPO_ROOT / f"BENCH_{BENCH_TAG}.json")
+    payload = run_regress(quick=quick)
+    baseline_path = baseline or find_baseline(output)
+    if baseline_path is not None and baseline_path.exists():
+        baseline_payload = json.loads(
+            baseline_path.read_text(encoding="utf-8")
+        )
+        payload["comparison"] = compare(
+            payload, baseline_payload, tolerance=tolerance, metric=metric
+        )
+        payload["comparison"]["baseline_path"] = str(baseline_path)
+    output.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    tables = tables_for(payload)
+    exit_code = 1 if payload.get("comparison", {}).get("regressions") else 0
+    return payload, tables, exit_code

@@ -12,7 +12,12 @@ Subcommands
 ``profile``      Trace one build+query+update+persist cycle on a graph and
                  print the per-stage breakdown (docs/OBSERVABILITY.md).
 ``fsck``         Validate a ``--data-dir`` offline (checksums, WAL replay).
-``bench``        Run one of the paper's experiments and print its table.
+``bench``        Run one of the paper's experiments and print its table;
+                 ``bench regress`` runs the pinned perf-regression suite
+                 (docs/PERFORMANCE.md) and writes a BENCH_*.json record.
+
+Graph-taking subcommands accept ``--kernels {csr,set}`` to pick the
+compute-kernel mode explicitly (default: ``ESD_KERNELS`` or ``csr``).
 """
 
 from __future__ import annotations
@@ -52,6 +57,12 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="dataset scale factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--kernels", choices=["csr", "set"],
+        help="compute-kernel mode: 'csr' (interned array/bitset kernels, "
+        "the default) or 'set' (reference dict-of-set paths); overrides "
+        "the ESD_KERNELS environment variable",
     )
 
 
@@ -225,12 +236,31 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
 _BENCH_NAMES = [
     "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "fig13", "tau-sensitivity", "link-prediction", "ablation",
-    "service",
+    "service", "regress",
 ]
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import experiments, harness
+
+    if args.experiment == "regress":
+        from pathlib import Path
+
+        from repro.bench import regress
+
+        _payload, tables, exit_code = regress.run_and_persist(
+            quick=args.quick,
+            output=Path(args.output) if args.output else None,
+            baseline=Path(args.baseline) if args.baseline else None,
+            tolerance=args.tolerance,
+            metric=args.metric,
+        )
+        print("\n\n".join(t.render() for t in tables))
+        if exit_code:
+            print("REGRESSION: " + ", ".join(
+                _payload["comparison"]["regressions"]
+            ), file=sys.stderr)
+        return exit_code
 
     runners = {
         "table1": lambda: experiments.run_table1(args.scale),
@@ -389,12 +419,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="run one paper experiment")
     p_bench.add_argument("experiment", choices=_BENCH_NAMES)
     p_bench.add_argument("--scale", type=float, default=1.0)
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="regress only: run the small pinned suite (CI smoke)",
+    )
+    p_bench.add_argument(
+        "--output", help="regress only: BENCH JSON output path "
+        "(default BENCH_<tag>.json in the repo root)",
+    )
+    p_bench.add_argument(
+        "--baseline", help="regress only: BENCH JSON to compare against "
+        "(default: newest other BENCH_*.json in the repo root)",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="regress only: relative regression tolerance (default 0.25)",
+    )
+    p_bench.add_argument(
+        "--metric", choices=["median", "speedup"], default="speedup",
+        help="regress only: comparison metric; 'speedup' (set/csr ratio) "
+        "is machine independent, 'median' is raw csr seconds",
+    )
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "kernels", None):
+        from repro.kernels.dispatch import set_kernel_mode
+
+        set_kernel_mode(args.kernels)
     try:
         return args.func(args)
     except BrokenPipeError:

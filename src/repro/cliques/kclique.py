@@ -31,7 +31,19 @@ def iter_four_cliques(
     appears exactly once (rooted at its two lowest-ranked members).
     ``order`` selects the orientation: the paper's ``"degree"`` ordering
     or the kClist-style ``"degeneracy"`` ordering.
+
+    Under the degree ordering this routes through the CSR kernel
+    (bitset intersections on the interned snapshot) when kernels are
+    enabled; the degeneracy ordering keeps the set-based walk.
     """
+    from repro.kernels.dispatch import kernels_enabled
+
+    if order == "degree" and kernels_enabled():
+        from repro.kernels.csr import snapshot_csr
+        from repro.kernels.triangles import csr_iter_four_cliques
+
+        yield from csr_iter_four_cliques(snapshot_csr(graph))
+        return
     dag = OrientedGraph(graph, order=order)
     yield from iter_four_cliques_oriented(dag)
 

@@ -4,14 +4,35 @@ Triangle listing on the degree-ordered DAG (Ortmann & Brandes) runs in
 ``O(α m)``: for every directed edge ``(u, v)``, each common out-neighbor
 ``w ∈ N+(u) ∩ N+(v)`` closes exactly one triangle, and every triangle is
 produced exactly once (by its lowest-ranked vertex).
+
+Both entry points route through the CSR kernels
+(:mod:`repro.kernels.triangles`) when enabled -- word-parallel bitset
+intersections on the interned snapshot -- and otherwise share one
+set-based oriented-DAG walk (:func:`_oriented_common_out_neighbors`),
+so listing and counting can never drift apart again.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, Set, Tuple
 
 from repro.graph.graph import Graph, Vertex
 from repro.graph.ordering import OrientedGraph
+from repro.kernels.dispatch import kernels_enabled
+
+
+def _oriented_common_out_neighbors(
+    dag: OrientedGraph,
+) -> Iterator[Tuple[Vertex, Vertex, Set[Vertex]]]:
+    """The one oriented-DAG walk both listing and counting consume.
+
+    Yields ``(u, v, N+(u) ∩ N+(v))`` for every directed edge ``(u, v)``;
+    each element of the intersection closes exactly one triangle.
+    """
+    for u in dag.vertices():
+        outs = dag.out_neighbors(u)
+        for v in outs:
+            yield u, v, outs & dag.out_neighbors(v)
 
 
 def iter_triangles(graph: Graph) -> Iterator[Tuple[Vertex, Vertex, Vertex]]:
@@ -20,24 +41,29 @@ def iter_triangles(graph: Graph) -> Iterator[Tuple[Vertex, Vertex, Vertex]]:
     Triangles come out as ``(u, v, w)`` where ``u ≺ v ≺ w`` in the degree
     ordering, so output is canonical and duplicate-free.
     """
+    if kernels_enabled():
+        from repro.kernels.csr import snapshot_csr
+        from repro.kernels.triangles import csr_iter_triangles
+
+        yield from csr_iter_triangles(snapshot_csr(graph))
+        return
     dag = OrientedGraph(graph)
-    for u in dag.vertices():
-        outs = dag.out_neighbors(u)
-        for v in outs:
-            common = outs & dag.out_neighbors(v)
-            for w in common:
-                yield (u, v, w) if dag.precedes(v, w) else (u, w, v)
+    for u, v, common in _oriented_common_out_neighbors(dag):
+        for w in common:
+            yield (u, v, w) if dag.precedes(v, w) else (u, w, v)
 
 
 def count_triangles(graph: Graph) -> int:
     """Total number of triangles in ``graph``."""
+    if kernels_enabled():
+        from repro.kernels.csr import snapshot_csr
+        from repro.kernels.triangles import csr_count_triangles
+
+        return csr_count_triangles(snapshot_csr(graph))
     dag = OrientedGraph(graph)
-    total = 0
-    for u in dag.vertices():
-        outs = dag.out_neighbors(u)
-        for v in outs:
-            total += len(outs & dag.out_neighbors(v))
-    return total
+    return sum(
+        len(common) for _u, _v, common in _oriented_common_out_neighbors(dag)
+    )
 
 
 def triangle_count_per_edge(graph: Graph) -> dict:
@@ -46,6 +72,12 @@ def triangle_count_per_edge(graph: Graph) -> dict:
     Equals ``|N(u) ∩ N(v)|`` for each edge, i.e. the numerator of the
     common-neighbor upper bound (§III).
     """
+    if kernels_enabled():
+        from repro.kernels.csr import snapshot_csr
+        from repro.kernels.triangles import csr_triangle_count_per_edge
+
+        return csr_triangle_count_per_edge(snapshot_csr(graph))
+
     from repro.graph.graph import canonical_edge
 
     counts = {edge: 0 for edge in graph.edges()}

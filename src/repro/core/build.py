@@ -23,6 +23,7 @@ from repro.core.diversity import all_ego_component_sizes
 from repro.core.index import ESDIndex
 from repro.graph.graph import Edge, Graph, canonical_edge
 from repro.graph.ordering import OrientedGraph
+from repro.kernels.dispatch import kernels_enabled
 from repro.structures.dsu import EdgeComponentSets
 
 
@@ -85,12 +86,40 @@ def _union_raw(state: tuple, a, b) -> None:
     size[ra] += size.pop(rb)
 
 
+def _raw_components_kernel(graph: Graph) -> Dict[Edge, tuple]:
+    """Kernel route of :func:`_raw_components`: id-space union-find on the
+    CSR snapshot, translated back to label-keyed states.
+
+    The returned dict preserves ``graph.edges()`` iteration order so
+    downstream index loading sees the same insertion order as the
+    set-based path.
+    """
+    from repro.kernels.components import csr_raw_components
+    from repro.kernels.csr import snapshot_csr
+
+    csr = snapshot_csr(graph)
+    edge_pairs, parents, sizes = csr_raw_components(csr)
+    label = csr.interner.label
+    canon = csr.canonical_label_edge
+    by_edge: Dict[Edge, tuple] = {}
+    for (a, b), parent, size in zip(edge_pairs, parents, sizes):
+        by_edge[canon(a, b)] = (
+            {label(w): label(p) for w, p in parent.items()},
+            {label(r): s for r, s in size.items()},
+        )
+    return {edge: by_edge[edge] for edge in graph.edges()}
+
+
 def _raw_components(graph: Graph) -> Dict[Edge, tuple]:
     """Algorithm 3's M structures as raw (parent, size) dict pairs.
 
     Lines 1-4 (init from common neighborhoods) fused with lines 6-15 (the
     single-pass 4-clique enumeration and its six unions per clique).
+    With kernels enabled the whole pass runs in interned id space
+    (:func:`repro.kernels.components.csr_raw_components`).
     """
+    if kernels_enabled() and graph.m:
+        return _raw_components_kernel(graph)
     raw: Dict[Edge, tuple] = {}
     for u, v in graph.edges():
         common = graph.common_neighbors(u, v)
@@ -134,7 +163,24 @@ def compute_components_fast(graph: Graph) -> Dict[Edge, EdgeComponentSets]:
 
 
 def build_index_fast(graph: Graph) -> ESDIndex:
-    """Algorithm 3 (ESDIndex+): 4-clique enumeration + union-find."""
+    """Algorithm 3 (ESDIndex+): 4-clique enumeration + union-find.
+
+    The kernel route takes the bitset flood fill over the shared CSR
+    snapshot instead: it produces the same component-size multisets
+    (already keyed by canonical label edge, no union-find state to
+    translate back) and is the faster of the two kernels when only the
+    sizes are needed.  The 4-clique union-find kernel
+    (:func:`repro.kernels.components.csr_raw_components`) remains the
+    route for :func:`compute_components_fast`, where the per-edge ``M``
+    structures must survive for dynamic maintenance.
+    """
+    if kernels_enabled() and graph.m:
+        from repro.kernels.components import csr_all_ego_component_sizes
+        from repro.kernels.csr import snapshot_csr
+
+        return index_from_sizes(
+            csr_all_ego_component_sizes(snapshot_csr(graph))
+        )
     return index_from_sizes(
         {
             edge: list(size.values())
@@ -150,7 +196,13 @@ def build_index_bitset(graph: Graph) -> ESDIndex:
     (:class:`repro.graph.bitset.BitsetAdjacency`) so the per-edge
     ego-network component computation runs on word-parallel AND/OR
     operations.  Produces an index identical to the other builders.
+
+    With kernels enabled the bitset layer lives on the shared CSR
+    snapshot instead of a private :class:`BitsetAdjacency`, so repeated
+    builds of an unchanged graph skip the packing entirely.
     """
+    if kernels_enabled() and graph.m:
+        return index_from_sizes(all_ego_component_sizes(graph))
     from repro.graph.bitset import BitsetAdjacency
 
     bits = BitsetAdjacency(graph)

@@ -14,6 +14,7 @@ from typing import Dict, List
 
 from repro.graph.components import components_of_subset
 from repro.graph.graph import Edge, Graph, Vertex
+from repro.kernels.dispatch import kernels_enabled
 
 
 def validate_parameters(k: int, tau: int) -> None:
@@ -58,6 +59,12 @@ def all_edge_structural_diversities(graph: Graph, tau: int = 1) -> Dict[Edge, in
     """
     if tau < 1:
         raise ValueError(f"tau must be >= 1, got {tau}")
+    if kernels_enabled() and graph.m:
+        sizes = all_ego_component_sizes(graph)
+        return {
+            edge: sum(1 for s in sizes[edge] if s >= tau)
+            for edge in graph.edges()
+        }
     return {
         (u, v): edge_structural_diversity(graph, u, v, tau)
         for u, v in graph.edges()
@@ -68,8 +75,17 @@ def all_ego_component_sizes(graph: Graph) -> Dict[Edge, List[int]]:
     """Component-size multiset of every edge's ego-network.
 
     One BFS per edge; this is what Algorithm 2 computes in its first phase
-    and what the ESDIndex summarizes.
+    and what the ESDIndex summarizes.  With kernels enabled the BFS is a
+    word-parallel bitset flood fill over the shared CSR snapshot
+    (:func:`repro.kernels.components.csr_all_ego_component_sizes`); the
+    returned dict keeps ``graph.edges()`` iteration order either way.
     """
+    if kernels_enabled() and graph.m:
+        from repro.kernels.components import csr_all_ego_component_sizes
+        from repro.kernels.csr import snapshot_csr
+
+        sizes = csr_all_ego_component_sizes(snapshot_csr(graph))
+        return {edge: sizes[edge] for edge in graph.edges()}
     return {
         (u, v): ego_component_sizes(graph, u, v) for u, v in graph.edges()
     }

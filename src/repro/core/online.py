@@ -16,6 +16,7 @@ from typing import Dict, List, Tuple
 from repro.core.bounds import BOUND_RULES
 from repro.core.diversity import edge_structural_diversity, validate_parameters
 from repro.graph.graph import Edge, Graph
+from repro.kernels.dispatch import kernels_enabled
 from repro.structures.heap import LazyMaxHeap
 
 
@@ -82,9 +83,44 @@ def topk_online(
     # line 4 onward); a set of already-scored edges plays that role here.
     scored: Dict[Edge, int] = {}
 
-    for u, v in graph.edges():
-        queue.push((u, v), bound_rule(graph, u, v, tau))
-        stats.bound_evaluations += 1
+    # Kernel fast path: bounds and exact scores come from the shared CSR
+    # snapshot (one bitset pass for all common-neighbor bounds, a flood
+    # fill per scored edge).  The edge iteration order and every pushed
+    # priority are identical to the set-based path, so heap tie-breaking
+    # -- and therefore the result list -- is bit-identical.
+    csr = None
+    if kernels_enabled() and graph.m:
+        from repro.kernels.csr import snapshot_csr
+
+        csr = snapshot_csr(graph)
+
+    if csr is not None and bound == "common-neighbor":
+        from repro.kernels.triangles import csr_triangle_count_per_edge
+
+        counts = csr_triangle_count_per_edge(csr)
+        for u, v in graph.edges():
+            queue.push((u, v), counts[(u, v)] // tau)
+            stats.bound_evaluations += 1
+    else:
+        for u, v in graph.edges():
+            queue.push((u, v), bound_rule(graph, u, v, tau))
+            stats.bound_evaluations += 1
+
+    if csr is not None:
+        from repro.kernels.components import csr_ego_component_sizes_ids
+
+        intern = csr.intern
+
+        def _exact_score(edge: Edge) -> int:
+            sizes = csr_ego_component_sizes_ids(
+                csr, intern(edge[0]), intern(edge[1])
+            )
+            return sum(1 for s in sizes if s >= tau)
+
+    else:
+
+        def _exact_score(edge: Edge) -> int:
+            return edge_structural_diversity(graph, edge[0], edge[1], tau)
 
     results: List[Tuple[Edge, int]] = []
     while len(results) < k and queue:
@@ -95,7 +131,7 @@ def topk_online(
             # every other edge's bound/score, so it is a confirmed answer.
             results.append((edge, scored[edge]))
             continue
-        score = edge_structural_diversity(graph, edge[0], edge[1], tau)
+        score = _exact_score(edge)
         stats.evaluated += 1
         scored[edge] = score
         queue.push(edge, score)

@@ -11,12 +11,15 @@ Fig. 7 trend; see DESIGN.md §3).
 
 Pipeline:
 
-1. undirected edges are sorted by estimated cost ``min{d(u), d(v)}`` and
-   dealt round-robin into one chunk per worker (load balancing, the
-   paper's stated reason for edge-parallelism),
+1. undirected edges are costed by their ego-network size
+   ``|N(u) ∩ N(v)| + 1`` and scheduled LPT (longest processing time
+   first: each edge goes to the currently least-loaded chunk) into one
+   chunk per worker -- the load balancing §IV-E exists for,
 2. a ``multiprocessing`` fork pool computes each chunk's per-edge
    component-size multisets (true parallelism; Python threads would
-   serialize on the GIL),
+   serialize on the GIL); with kernels enabled the parent ships the
+   flat CSR arrays to each worker exactly once via the pool
+   initializer and chunks travel as packed ``array('l')`` id pairs,
 3. the parent bulk-loads the ESDIndex from the merged multisets.
 
 ``threads=1`` runs inline with zero pool overhead so speedup ratios
@@ -26,8 +29,11 @@ the paper's literal clique-parallel enumeration as a library feature.
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing as mp
 import os
+from array import array
+from itertools import chain
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.build import index_from_sizes
@@ -35,10 +41,14 @@ from repro.core.index import ESDIndex
 from repro.graph.components import components_of_subset
 from repro.graph.graph import Edge, Graph, Vertex
 from repro.graph.ordering import OrientedGraph
+from repro.kernels.dispatch import kernels_enabled
 
 # Worker-side state, inherited through fork (set before pool creation).
 _WORKER_GRAPH: Graph = None  # type: ignore[assignment]
 _WORKER_DAG: OrientedGraph = None  # type: ignore[assignment]
+# Worker-side CSR snapshot, rebuilt once per worker from the shipped
+# flat arrays (pool initializer), never re-pickled per chunk.
+_WORKER_CSR = None
 
 
 def _resolve_threads(threads: int) -> int:
@@ -49,20 +59,45 @@ def _resolve_threads(threads: int) -> int:
     return threads
 
 
-def _cost_balanced_chunks(graph: Graph, parts: int) -> List[List[Edge]]:
-    """Deal edges round-robin by descending ``min{d(u), d(v)}``.
+def _edge_costs(graph: Graph) -> Dict[Edge, int]:
+    """Per-edge work estimate ``|N(u) ∩ N(v)| + 1``.
 
-    The heaviest ego-networks spread across workers first, the long tail
-    of cheap edges evens out the remainder -- the edge-parallel load
-    balancing of §IV-E.
+    The ego-network component computation is linear-ish in the common
+    neighborhood, so its size is the right LPT weight; ``+ 1`` keeps
+    empty-neighborhood edges from being free.  With kernels enabled all
+    counts come from one bitset pass over the CSR snapshot.
     """
-    edges = sorted(
-        graph.edges(),
-        key=lambda e: (-min(graph.degree(e[0]), graph.degree(e[1])), e),
-    )
+    if kernels_enabled() and graph.m:
+        from repro.kernels.csr import snapshot_csr
+        from repro.kernels.triangles import csr_triangle_count_per_edge
+
+        counts = csr_triangle_count_per_edge(snapshot_csr(graph))
+        return {edge: c + 1 for edge, c in counts.items()}
+    return {
+        (u, v): len(graph.common_neighbors(u, v)) + 1
+        for u, v in graph.edges()
+    }
+
+
+def _cost_balanced_chunks(graph: Graph, parts: int) -> List[List[Edge]]:
+    """LPT-schedule edges into ``parts`` chunks by ego-network cost.
+
+    Longest processing time first: edges are sorted by descending
+    ``|N(u) ∩ N(v)| + 1`` and each goes to the currently least-loaded
+    chunk (a heap of ``(load, chunk)`` pairs).  This is the classic
+    4/3-approximation to minimum makespan -- the edge-parallel load
+    balancing of §IV-E.  An earlier version dealt the sorted edges
+    round-robin, which on skewed graphs can pile every heavy edge of a
+    stride onto one worker; see ``tests/core/test_parallel.py``.
+    """
+    costs = _edge_costs(graph)
+    edges = sorted(costs, key=lambda e: (-costs[e], e))
     chunks: List[List[Edge]] = [[] for _ in range(parts)]
-    for i, edge in enumerate(edges):
-        chunks[i % parts].append(edge)
+    heap: List[Tuple[int, int]] = [(0, i) for i in range(parts)]
+    for edge in edges:
+        load, i = heapq.heappop(heap)
+        chunks[i].append(edge)
+        heapq.heappush(heap, (load + costs[edge], i))
     return chunks
 
 
@@ -79,18 +114,93 @@ def _component_sizes_chunk(chunk: Sequence[Edge]) -> Dict[Edge, Tuple[int, ...]]
     return out
 
 
+def _init_worker_csr(offsets, neighbors, dag_start, labels) -> None:
+    """Pool initializer: rehydrate the shipped CSR arrays, once per worker."""
+    global _WORKER_CSR
+    from repro.kernels.csr import CSRGraph
+
+    _WORKER_CSR = CSRGraph.from_arrays(offsets, neighbors, dag_start, labels)
+    _WORKER_CSR.ensure_bits()
+
+
+def _component_sizes_chunk_ids(chunk: array) -> Dict[Tuple[int, int], Tuple[int, ...]]:
+    """Worker: flood-fill sizes for a packed ``array('l')`` of id pairs."""
+    from repro.kernels.components import _flood_fill_sizes
+
+    csr = _WORKER_CSR
+    adj = csr.adj_bits
+    out: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    it = iter(chunk)
+    for a, b in zip(it, it):
+        common = adj[a] & adj[b]
+        if common:
+            out[(a, b)] = tuple(_flood_fill_sizes(adj, common))
+    return out
+
+
+def _parallel_component_sizes_kernel(
+    graph: Graph, threads: int
+) -> Dict[Edge, Tuple[int, ...]]:
+    """Kernel route: ship flat CSR arrays once, fan id-pair chunks out.
+
+    Each chunk is a packed ``array('l')`` of interned id pairs -- a few
+    machine words per edge on the wire instead of a pickled label tuple
+    -- and every worker rebuilds (and bit-packs) the snapshot exactly
+    once in its initializer.
+    """
+    from repro.kernels.csr import snapshot_csr
+
+    csr = snapshot_csr(graph)
+    intern = csr.intern
+    chunks = _cost_balanced_chunks(graph, threads)
+    id_chunks = [
+        array(
+            "l",
+            chain.from_iterable((intern(u), intern(v)) for u, v in chunk),
+        )
+        for chunk in chunks
+    ]
+    canon = csr.canonical_label_edge
+    merged: Dict[Edge, Tuple[int, ...]] = {}
+    ctx = mp.get_context("fork")
+    with ctx.Pool(
+        processes=threads,
+        initializer=_init_worker_csr,
+        initargs=csr.ship(),
+    ) as pool:
+        for part in pool.map(_component_sizes_chunk_ids, id_chunks):
+            for (a, b), sizes in part.items():
+                merged[canon(a, b)] = sizes
+    return merged
+
+
 def parallel_component_sizes(
     graph: Graph, threads: int = 0
 ) -> Dict[Edge, Tuple[int, ...]]:
     """All per-edge ego-network component sizes, computed in parallel."""
     global _WORKER_GRAPH
     threads = _resolve_threads(threads)
+    use_kernels = kernels_enabled() and graph.m
     if threads == 1 or graph.m < 4 * threads:
+        if use_kernels:
+            from repro.kernels.components import csr_all_ego_component_sizes
+            from repro.kernels.csr import snapshot_csr
+
+            return {
+                edge: tuple(sizes)
+                for edge, sizes in csr_all_ego_component_sizes(
+                    snapshot_csr(graph)
+                ).items()
+                if sizes
+            }
         _WORKER_GRAPH = graph
         try:
             return _component_sizes_chunk(list(graph.edges()))
         finally:
             _WORKER_GRAPH = None
+
+    if use_kernels:
+        return _parallel_component_sizes_kernel(graph, threads)
 
     _WORKER_GRAPH = graph
     try:

@@ -34,11 +34,12 @@ class Graph:
     methods yield canonical ``(small, large)`` tuples.
     """
 
-    __slots__ = ("_adj", "_m")
+    __slots__ = ("_adj", "_m", "_revision", "__weakref__")
 
     def __init__(self, edges: Iterable[Tuple[Vertex, Vertex]] = ()) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._m = 0
+        self._revision = 0
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -59,6 +60,17 @@ class Graph:
         """Number of edges."""
         return self._m
 
+    @property
+    def revision(self) -> int:
+        """Monotonic mutation counter, bumped by every structural change.
+
+        Derived read-only snapshots (e.g. the CSR kernel view in
+        :mod:`repro.kernels.csr`) tag themselves with the revision they
+        were built from and rebuild when it moves, so they can be cached
+        per graph without going stale.
+        """
+        return self._revision
+
     def __len__(self) -> int:
         return len(self._adj)
 
@@ -74,6 +86,7 @@ class Graph:
         """Add an isolated vertex (no-op if present)."""
         if u not in self._adj:
             self._adj[u] = set()
+            self._revision += 1
 
     def add_edge(self, u: Vertex, v: Vertex) -> bool:
         """Add undirected edge ``(u, v)``; return True if it was new."""
@@ -86,6 +99,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._m += 1
+        self._revision += 1
         return True
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
@@ -96,6 +110,7 @@ class Graph:
         except KeyError:
             raise KeyError(f"edge not in graph: ({u!r}, {v!r})") from None
         self._m -= 1
+        self._revision += 1
 
     def remove_vertex(self, u: Vertex) -> None:
         """Remove ``u`` and all incident edges; raises KeyError if absent."""
@@ -103,6 +118,7 @@ class Graph:
         for v in neighbors:
             self._adj[v].remove(u)
         self._m -= len(neighbors)
+        self._revision += 1
 
     # -- queries ---------------------------------------------------------------
 

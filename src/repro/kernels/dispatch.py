@@ -1,0 +1,94 @@
+"""Kernel-mode dispatch: choose the CSR kernels or the set-based paths.
+
+Every hot-path entry point (index builders, ``topk_online``, triangle
+and 4-clique enumeration, the parallel builder) consults
+:func:`kernels_enabled` and falls back to the original dict-of-set
+implementation when the kernels are switched off.  Both paths produce
+bit-identical results -- the switch exists so the perf-regression
+harness (``esd bench regress``) can time them against each other and so
+a suspected kernel bug can be ruled out in production with one
+environment variable.
+
+Selection, highest priority first:
+
+1. a :func:`set_kernel_mode` override (also the ``--kernels`` CLI flag
+   and the :func:`use_kernels` context manager),
+2. the ``ESD_KERNELS`` environment variable (``csr`` or ``set``;
+   ``off``/``0``/``false``/``none`` are aliases of ``set``),
+3. the default, ``csr``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "KERNEL_MODES",
+    "kernel_mode",
+    "kernels_enabled",
+    "set_kernel_mode",
+    "use_kernels",
+]
+
+#: The two recognized modes: CSR integer kernels vs. dict-of-set paths.
+KERNEL_MODES = ("csr", "set")
+
+#: Environment values treated as "disable the CSR kernels".
+_OFF_ALIASES = frozenset({"set", "off", "0", "false", "none", "no"})
+
+_override: Optional[str] = None
+
+
+def _normalize(mode: str) -> str:
+    cleaned = mode.strip().lower()
+    if cleaned in _OFF_ALIASES:
+        return "set"
+    if cleaned == "csr":
+        return "csr"
+    raise ValueError(
+        f"unknown kernel mode {mode!r}; choose from {list(KERNEL_MODES)}"
+    )
+
+
+def kernel_mode() -> str:
+    """The active mode: ``"csr"`` or ``"set"``."""
+    if _override is not None:
+        return _override
+    env = os.environ.get("ESD_KERNELS")
+    if env is None or not env.strip():
+        return "csr"
+    try:
+        return _normalize(env)
+    except ValueError:
+        # A typo in an env var must not crash the service at import
+        # time; unknown values mean "default", i.e. kernels on.
+        return "csr"
+
+
+def kernels_enabled() -> bool:
+    """True when the CSR kernels should serve the hot paths."""
+    return kernel_mode() == "csr"
+
+
+def set_kernel_mode(mode: Optional[str]) -> None:
+    """Force a mode for this process (``None`` clears the override).
+
+    Overrides beat ``ESD_KERNELS``; the CLI's ``--kernels`` flag and the
+    benchmark harness use this.
+    """
+    global _override
+    _override = None if mode is None else _normalize(mode)
+
+
+@contextmanager
+def use_kernels(mode: str) -> Iterator[None]:
+    """Temporarily force a kernel mode (tests and the regress harness)."""
+    global _override
+    previous = _override
+    _override = _normalize(mode)
+    try:
+        yield
+    finally:
+        _override = previous

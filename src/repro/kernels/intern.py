@@ -1,0 +1,69 @@
+"""Vertex interning: arbitrary hashable labels ↔ dense integer ids.
+
+Every CSR kernel works on ids ``0..n-1``; the interner is the single
+boundary where labels (ints, strings, anything hashable and mutually
+orderable) are exchanged for dense ints and back.  Interning pays for
+itself twice: array indexing replaces dict hashing inside the kernels,
+and pairs of ids pack into one machine int (``u * n + v``) for the
+edge-id table of the 4-clique builder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence
+
+__all__ = ["VertexInterner"]
+
+
+class VertexInterner:
+    """A frozen bijection between vertex labels and ids ``0..n-1``.
+
+    Ids follow the order of the ``labels`` sequence given at
+    construction; :class:`~repro.kernels.csr.CSRGraph` passes labels in
+    degree-rank order so that id comparison realizes the paper's total
+    order ``≺`` for free.
+    """
+
+    __slots__ = ("_labels", "_ids")
+
+    def __init__(self, labels: Sequence[Hashable]) -> None:
+        self._labels: List[Hashable] = list(labels)
+        self._ids: Dict[Hashable, int] = {
+            label: i for i, label in enumerate(self._labels)
+        }
+        if len(self._ids) != len(self._labels):
+            raise ValueError("duplicate labels cannot be interned")
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._ids
+
+    def intern(self, label: Hashable) -> int:
+        """The id of ``label`` (KeyError for unknown labels)."""
+        return self._ids[label]
+
+    def label(self, vid: int) -> Hashable:
+        """The label of ``vid`` (IndexError for out-of-range ids)."""
+        return self._labels[vid]
+
+    def intern_many(self, labels: Iterable[Hashable]) -> List[int]:
+        """Intern a batch of labels."""
+        ids = self._ids
+        return [ids[label] for label in labels]
+
+    def labels_of(self, vids: Iterable[int]) -> List[Hashable]:
+        """Resolve a batch of ids back to labels."""
+        labels = self._labels
+        return [labels[vid] for vid in vids]
+
+    @property
+    def labels(self) -> List[Hashable]:
+        """All labels in id order.  Do not mutate."""
+        return self._labels
+
+    @property
+    def ids(self) -> Dict[Hashable, int]:
+        """The label -> id mapping.  Do not mutate."""
+        return self._ids

@@ -1,0 +1,147 @@
+"""Sorted-adjacency intersection kernels: merge, gallop, bitset.
+
+The common-neighborhood intersection ``N(u) ∩ N(v)`` is the primitive
+every algorithm in this repository bottoms out in (the paper's §V gets
+its wins from exactly this operation).  Three strategies cover the size
+regimes, chosen per call:
+
+* **linear merge** -- two-pointer walk, ``O(d(u) + d(v))``; best when
+  the slices are of similar size and the bitset layer is cold.
+* **galloping / binary search** -- iterate the smaller slice, locate
+  each element in the larger one with ``bisect`` over a shrinking
+  window, ``O(d_small log d_large)``; fires when one slice is at least
+  :data:`GALLOP_RATIO` times the other.
+* **bitset** -- word-parallel big-int AND over the packed rows
+  (:mod:`repro.graph.bitset` idiom); used whenever the
+  :class:`~repro.kernels.csr.CSRGraph` bitset layer is already built,
+  and built on demand as a fallback when both slices are very large
+  (``>=`` :data:`~repro.kernels.csr.BITSET_DEGREE_FALLBACK`).
+
+Every call records which strategy fired in
+:data:`~repro.kernels.counters.KERNEL_COUNTERS` so ``esd profile`` and
+the service metrics op can show the live mix.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Sequence
+
+from repro.kernels.counters import KERNEL_COUNTERS
+from repro.kernels.csr import BITSET_DEGREE_FALLBACK, CSRGraph
+
+__all__ = [
+    "GALLOP_RATIO",
+    "intersect_ids",
+    "intersect_count",
+    "merge_sorted",
+    "gallop_sorted",
+    "decode_bits",
+]
+
+#: Size ratio beyond which galloping beats the linear merge.
+GALLOP_RATIO = 8
+
+
+def merge_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Two-pointer intersection of two ascending sequences."""
+    out: List[int] = []
+    i, j = 0, 0
+    la, lb = len(a), len(b)
+    append = out.append
+    while i < la and j < lb:
+        x, y = a[i], b[j]
+        if x == y:
+            append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def gallop_sorted(small: Sequence[int], big: Sequence[int]) -> List[int]:
+    """Intersection by binary-searching each small element into ``big``.
+
+    The search window's low end advances monotonically (both inputs are
+    sorted), so total work is ``O(|small| log |big|)``.
+    """
+    out: List[int] = []
+    lo, hi = 0, len(big)
+    steps = 0
+    append = out.append
+    for x in small:
+        lo = bisect_left(big, x, lo, hi)
+        steps += 1
+        if lo == hi:
+            break
+        if big[lo] == x:
+            append(x)
+            lo += 1
+    KERNEL_COUNTERS.gallop_steps += steps
+    return out
+
+
+def decode_bits(bits: int) -> List[int]:
+    """Set bit positions of ``bits``, ascending."""
+    out: List[int] = []
+    append = out.append
+    while bits:
+        low = bits & -bits
+        append(low.bit_length() - 1)
+        bits ^= low
+    return out
+
+
+def _pick_strategy(csr: CSRGraph, da: int, db: int) -> str:
+    """Choose merge / gallop / bitset for slice sizes ``da <= db``."""
+    if csr.bits_built:
+        return "bitset"
+    if da >= BITSET_DEGREE_FALLBACK and db >= BITSET_DEGREE_FALLBACK:
+        # Very high-degree pair: pay the one-time packing, then every
+        # later intersection on this snapshot is word-parallel.
+        csr.ensure_bits(fallback=True)
+        return "bitset"
+    if da * GALLOP_RATIO <= db:
+        return "gallop"
+    return "merge"
+
+
+def intersect_ids(csr: CSRGraph, u: int, v: int) -> List[int]:
+    """``N(u) ∩ N(v)`` as an ascending id list, strategy-dispatched."""
+    da, db = csr.degree(u), csr.degree(v)
+    if da > db:
+        u, v, da, db = v, u, db, da
+    if da == 0:
+        return []
+    strategy = _pick_strategy(csr, da, db)
+    if strategy == "bitset":
+        KERNEL_COUNTERS.bitset_intersections += 1
+        return decode_bits(csr.adj_bits[u] & csr.adj_bits[v])
+    small = csr.neighbor_ids(u)
+    big = csr.neighbor_ids(v)
+    if strategy == "gallop":
+        KERNEL_COUNTERS.gallop_intersections += 1
+        return gallop_sorted(small, big)
+    KERNEL_COUNTERS.merge_intersections += 1
+    return merge_sorted(small, big)
+
+
+def intersect_count(csr: CSRGraph, u: int, v: int) -> int:
+    """``|N(u) ∩ N(v)|`` without materializing the intersection."""
+    da, db = csr.degree(u), csr.degree(v)
+    if da > db:
+        u, v, da, db = v, u, db, da
+    if da == 0:
+        return 0
+    strategy = _pick_strategy(csr, da, db)
+    if strategy == "bitset":
+        KERNEL_COUNTERS.bitset_intersections += 1
+        return (csr.adj_bits[u] & csr.adj_bits[v]).bit_count()
+    if strategy == "gallop":
+        KERNEL_COUNTERS.gallop_intersections += 1
+        return len(gallop_sorted(csr.neighbor_ids(u), csr.neighbor_ids(v)))
+    KERNEL_COUNTERS.merge_intersections += 1
+    return len(merge_sorted(csr.neighbor_ids(u), csr.neighbor_ids(v)))

@@ -124,9 +124,12 @@ def profile_cycle(
             f"invalid profile parameters: k={k}, tau={tau}, "
             f"repeat={repeat}, updates={updates}"
         )
+    from repro.kernels.counters import KERNEL_COUNTERS
+
     tracer = tracer if tracer is not None else TRACER
     sink = CollectingSink()
     previous = (tracer.sink, tracer.enabled)
+    kernel_baseline = KERNEL_COUNTERS.snapshot()
     tracer.configure(sink)
     try:
         with tracer.span("profile.build", n=graph.n, m=graph.m):
@@ -199,6 +202,18 @@ def profile_cycle(
             "heap_stale_skips": online_stats.heap_stale_skips,
             "evaluated": online_stats.evaluated,
             "pruned": online_stats.pruned,
+        },
+    )
+    # Kernel counters are process-wide cumulative; report only the
+    # increments this cycle caused (zero across the board in set mode).
+    registry.add_source(
+        "kernels",
+        lambda: {
+            name: value
+            for name, value in KERNEL_COUNTERS.delta_since(
+                kernel_baseline
+            ).items()
+            if value
         },
     )
     merged = registry.snapshot()

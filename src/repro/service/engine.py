@@ -42,6 +42,7 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 from repro.core.maintenance import DynamicESDIndex
 from repro.core.monitor import TopKChange, TopKMonitor
 from repro.graph.graph import Graph, canonical_edge
+from repro.kernels.counters import KERNEL_COUNTERS
 from repro.obs.registry import UnifiedRegistry
 from repro.obs.sampler import InvariantSampler
 from repro.obs.slowlog import SlowQueryLog
@@ -172,6 +173,7 @@ class QueryEngine:
         registry.add_source("lock", self._lock.snapshot)
         registry.add_source("graph_version", lambda: self._dyn.graph_version)
         registry.add_source("core", self._core_counters)
+        registry.add_source("kernels", KERNEL_COUNTERS.snapshot)
         registry.add_source("slow_queries", self.slow_log.snapshot)
         registry.add_source(
             "invariant_sampler",

@@ -1,0 +1,217 @@
+"""Unit tests for the perf-regression harness (``esd bench regress``)."""
+
+import json
+
+import pytest
+
+from repro.bench import regress
+from repro.bench.regress import (
+    DEFAULT_TOLERANCE,
+    compare,
+    find_baseline,
+    run_and_persist,
+    run_regress,
+)
+
+
+def payload_with(speedup, median, suite="quick", op="build_index_fast"):
+    return {
+        "bench": "X",
+        "suites": {
+            suite: {
+                "workload": {"n": 10, "m": 9, "k": 2, "tau": 1},
+                "ops": {
+                    op: {
+                        "csr_median_s": median,
+                        "set_median_s": median * speedup,
+                        "speedup": speedup,
+                        "repeats": 3,
+                    }
+                },
+            }
+        },
+    }
+
+
+class TestCompare:
+    def test_speedup_ok_within_tolerance(self):
+        result = compare(
+            payload_with(1.9, 0.01), payload_with(2.0, 0.01), metric="speedup"
+        )
+        assert result["regressions"] == []
+        assert result["entries"][0]["status"] == "ok"
+
+    def test_speedup_regression_beyond_tolerance(self):
+        result = compare(
+            payload_with(1.0, 0.01),
+            payload_with(2.0, 0.01),
+            tolerance=0.25,
+            metric="speedup",
+        )
+        assert result["regressions"] == ["quick/build_index_fast"]
+        entry = result["entries"][0]
+        assert entry["status"] == "regression"
+        assert entry["ratio"] == pytest.approx(0.5)
+
+    def test_speedup_improvement_never_fails(self):
+        result = compare(
+            payload_with(5.0, 0.01), payload_with(2.0, 0.01), metric="speedup"
+        )
+        assert result["regressions"] == []
+
+    def test_median_regression_is_slower_time(self):
+        result = compare(
+            payload_with(2.0, 0.05),
+            payload_with(2.0, 0.01),
+            tolerance=0.25,
+            metric="median",
+        )
+        assert result["regressions"] == ["quick/build_index_fast"]
+
+    def test_median_faster_time_is_ok(self):
+        result = compare(
+            payload_with(2.0, 0.005),
+            payload_with(2.0, 0.01),
+            metric="median",
+        )
+        assert result["regressions"] == []
+
+    def test_new_op_reported_not_failed(self):
+        current = payload_with(2.0, 0.01)
+        current["suites"]["quick"]["ops"]["novel_op"] = {
+            "csr_median_s": 1.0,
+            "set_median_s": 1.0,
+            "speedup": 1.0,
+            "repeats": 3,
+        }
+        result = compare(current, payload_with(2.0, 0.01))
+        statuses = {e["op"]: e["status"] for e in result["entries"]}
+        assert statuses["novel_op"] == "new"
+        assert result["regressions"] == []
+
+    def test_missing_suite_skipped(self):
+        current = payload_with(2.0, 0.01, suite="full")
+        baseline = payload_with(2.0, 0.01, suite="quick")
+        result = compare(current, baseline)
+        assert result["entries"] == []
+        assert result["regressions"] == []
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            compare(
+                payload_with(2.0, 0.01),
+                payload_with(2.0, 0.01),
+                metric="p99",
+            )
+
+    def test_default_tolerance_is_25_percent(self):
+        assert DEFAULT_TOLERANCE == 0.25
+
+
+class TestFindBaseline:
+    def test_picks_newest_other_bench_file(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(regress, "REPO_ROOT", tmp_path)
+        (tmp_path / "BENCH_PR4.json").write_text("{}")
+        (tmp_path / "BENCH_PR5.json").write_text("{}")
+        assert find_baseline(tmp_path / "BENCH_PR5.json") == (
+            tmp_path / "BENCH_PR4.json"
+        )
+
+    def test_none_when_no_other_files(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(regress, "REPO_ROOT", tmp_path)
+        (tmp_path / "BENCH_PR5.json").write_text("{}")
+        assert find_baseline(tmp_path / "BENCH_PR5.json") is None
+
+
+@pytest.fixture
+def tiny_suites(monkeypatch, tmp_path):
+    """Shrink the pinned workloads so a real run takes milliseconds.
+
+    Also points ``REPO_ROOT`` at the temp dir so ``find_baseline`` never
+    picks up the repository's committed BENCH files.
+    """
+    monkeypatch.setattr(regress, "REPO_ROOT", tmp_path)
+    monkeypatch.setattr(
+        regress,
+        "SUITES",
+        {
+            "quick": {
+                "n": 24,
+                "p": 0.2,
+                "seed": 7,
+                "k": 3,
+                "tau": 1,
+                "repeats": 1,
+            }
+        },
+    )
+
+
+class TestRunAndPersist:
+    def test_quick_run_writes_payload(self, tiny_suites, tmp_path):
+        output = tmp_path / "BENCH_TEST.json"
+        payload, tables, exit_code = run_and_persist(
+            quick=True, output=output, baseline=None
+        )
+        assert exit_code == 0
+        on_disk = json.loads(output.read_text())
+        assert on_disk["suites"].keys() == {"quick"}
+        ops = on_disk["suites"]["quick"]["ops"]
+        assert set(ops) == set(regress.OPS)
+        for record in ops.values():
+            assert record["csr_median_s"] > 0
+            assert record["set_median_s"] > 0
+        # The CSR snapshot itself is built during op *setup* (before the
+        # counter baseline), so assert on counters the timed ops bump.
+        counters = on_disk["suites"]["quick"]["kernel_counters"]
+        assert counters["component_kernels"] >= 1
+        assert counters["triangle_kernels"] >= 1
+        assert tables  # one rendered table per suite
+
+    def test_regression_vs_baseline_exits_nonzero(self, tiny_suites, tmp_path):
+        output = tmp_path / "BENCH_TEST.json"
+        baseline_path = tmp_path / "BENCH_OLD.json"
+        baseline = run_regress(quick=True)
+        # Pretend the old kernels were impossibly fast: every op's
+        # speedup shrinks by far more than the tolerance.
+        for record in baseline["suites"]["quick"]["ops"].values():
+            record["speedup"] *= 100.0
+        baseline_path.write_text(json.dumps(baseline))
+        payload, _tables, exit_code = run_and_persist(
+            quick=True, output=output, baseline=baseline_path
+        )
+        assert exit_code == 1
+        assert payload["comparison"]["regressions"]
+
+    def test_matching_baseline_exits_zero(self, tiny_suites, tmp_path):
+        output = tmp_path / "BENCH_TEST.json"
+        baseline_path = tmp_path / "BENCH_OLD.json"
+        run_and_persist(quick=True, output=baseline_path, baseline=None)
+        # Speedup ratios are stable run-to-run well within 25% at this
+        # size?  No -- timing noise on tiny graphs is huge, so compare
+        # against the just-written file with an enormous tolerance: the
+        # plumbing (baseline load, comparison attach, exit code), not
+        # the timings, is what is under test.
+        payload, _tables, exit_code = run_and_persist(
+            quick=True,
+            output=output,
+            baseline=baseline_path,
+            tolerance=1000.0,
+        )
+        assert exit_code == 0
+        assert payload["comparison"]["baseline_path"] == str(baseline_path)
+        assert payload["comparison"]["regressions"] == []
+
+
+class TestCommittedBenchFile:
+    def test_bench_pr5_record_is_valid(self):
+        path = regress.REPO_ROOT / "BENCH_PR5.json"
+        payload = json.loads(path.read_text())
+        assert payload["bench"] == "PR5"
+        assert payload["schema"] == 1
+        for name in ("full", "quick"):
+            ops = payload["suites"][name]["ops"]
+            assert set(ops) == set(regress.OPS)
+            for op in regress.SPEEDUP_OPS:
+                # The PR's acceptance gate: >= 2x on the pinned suites.
+                assert ops[op]["speedup"] >= 2.0

@@ -1,0 +1,162 @@
+"""Unit tests for the intersection kernels and their strategy dispatch."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.kernels.counters import KERNEL_COUNTERS, KernelCounters
+from repro.kernels.csr import BITSET_DEGREE_FALLBACK, CSRGraph
+from repro.kernels.intersect import (
+    GALLOP_RATIO,
+    decode_bits,
+    gallop_sorted,
+    intersect_count,
+    intersect_ids,
+    merge_sorted,
+)
+
+
+def ground_truth(csr, u, v):
+    return sorted(set(csr.neighbor_ids(u)) & set(csr.neighbor_ids(v)))
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ([], [], []),
+            ([1, 2, 3], [], []),
+            ([1, 3, 5], [2, 4, 6], []),
+            ([1, 3, 5], [1, 3, 5], [1, 3, 5]),
+            ([1, 2, 3, 7], [2, 3, 4, 7, 9], [2, 3, 7]),
+        ],
+    )
+    def test_merge_and_gallop_agree(self, a, b, expected):
+        assert merge_sorted(a, b) == expected
+        assert gallop_sorted(a, b) == expected
+        assert gallop_sorted(b, a) == expected
+
+    def test_randomized_agreement(self):
+        rng = random.Random(13)
+        for _ in range(50):
+            a = sorted(rng.sample(range(200), rng.randint(0, 40)))
+            b = sorted(rng.sample(range(200), rng.randint(0, 40)))
+            expected = sorted(set(a) & set(b))
+            assert merge_sorted(a, b) == expected
+            assert gallop_sorted(a, b) == expected
+
+    def test_gallop_steps_counted(self):
+        before = KERNEL_COUNTERS.gallop_steps
+        gallop_sorted([5, 10], list(range(100)))
+        assert KERNEL_COUNTERS.gallop_steps == before + 2
+
+    def test_decode_bits(self):
+        assert decode_bits(0) == []
+        assert decode_bits(0b1) == [0]
+        assert decode_bits(0b1010010) == [1, 4, 6]
+        positions = [0, 3, 64, 65, 1000]
+        assert decode_bits(sum(1 << p for p in positions)) == positions
+
+
+class TestStrategyDispatch:
+    def test_merge_fires_on_balanced_slices(self):
+        g = erdos_renyi(60, 0.2, seed=9)
+        csr = CSRGraph.from_graph(g)
+        assert not csr.bits_built
+        before = KERNEL_COUNTERS.snapshot()
+        u, v = 10, 11
+        assert intersect_ids(csr, u, v) == ground_truth(csr, u, v)
+        delta = KERNEL_COUNTERS.delta_since(before)
+        assert delta["merge_intersections"] == 1
+        assert delta["bitset_intersections"] == 0
+
+    def test_gallop_fires_on_skewed_slices(self):
+        # One hub adjacent to everything, one low-degree spoke: the
+        # degree ratio exceeds GALLOP_RATIO so galloping is chosen.
+        hub, spoke = 10_000, 10_001
+        hub_edges = [(hub, i) for i in range(8 * GALLOP_RATIO)]
+        g = Graph(hub_edges + [(spoke, 0), (spoke, 1)])
+        csr = CSRGraph.from_graph(g)
+        u, v = csr.intern(hub), csr.intern(spoke)
+        before = KERNEL_COUNTERS.snapshot()
+        result = intersect_ids(csr, u, v)
+        assert result == ground_truth(csr, u, v)
+        assert KERNEL_COUNTERS.delta_since(before)["gallop_intersections"] == 1
+
+    def test_bitset_fires_when_layer_built(self):
+        g = erdos_renyi(40, 0.3, seed=4)
+        csr = CSRGraph.from_graph(g)
+        csr.ensure_bits()
+        before = KERNEL_COUNTERS.snapshot()
+        assert intersect_ids(csr, 20, 21) == ground_truth(csr, 20, 21)
+        assert KERNEL_COUNTERS.delta_since(before)["bitset_intersections"] == 1
+
+    def test_high_degree_fallback_builds_bitsets(self):
+        # Two vertices of degree >= BITSET_DEGREE_FALLBACK with a cold
+        # bitset layer: the kernel pays the packing once, counts the
+        # fallback, and every later call on this snapshot is bitset.
+        d = BITSET_DEGREE_FALLBACK
+        a, b = 10_000, 10_001
+        edges = [(a, i) for i in range(d)] + [(b, i) for i in range(d)]
+        g = Graph(edges)
+        csr = CSRGraph.from_graph(g)
+        assert not csr.bits_built
+        u, v = csr.intern(a), csr.intern(b)
+        before = KERNEL_COUNTERS.snapshot()
+        assert intersect_count(csr, u, v) == d
+        delta = KERNEL_COUNTERS.delta_since(before)
+        assert delta["bitset_fallbacks"] == 1
+        assert delta["bitset_intersections"] == 1
+        assert csr.bits_built
+        # Second call reuses the layer -- no second fallback.
+        before = KERNEL_COUNTERS.snapshot()
+        assert intersect_count(csr, u, v) == d
+        delta = KERNEL_COUNTERS.delta_since(before)
+        assert delta["bitset_fallbacks"] == 0
+        assert delta["bitset_intersections"] == 1
+
+    def test_empty_side_short_circuits(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(2)
+        csr = CSRGraph.from_graph(g)
+        isolated = csr.intern(2)
+        other = csr.intern(0)
+        before = KERNEL_COUNTERS.snapshot()
+        assert intersect_ids(csr, isolated, other) == []
+        assert intersect_count(csr, isolated, other) == 0
+        delta = KERNEL_COUNTERS.delta_since(before)
+        assert not any(delta.values())
+
+    def test_count_matches_ids_everywhere(self):
+        g = erdos_renyi(50, 0.25, seed=8)
+        csr = CSRGraph.from_graph(g)
+        for u in range(csr.n):
+            for v in range(u + 1, csr.n):
+                assert intersect_count(csr, u, v) == len(
+                    intersect_ids(csr, u, v)
+                )
+
+
+class TestCounters:
+    def test_reset_snapshot_delta(self):
+        counters = KernelCounters()
+        assert not any(counters.snapshot().values())
+        counters.merge_intersections += 3
+        counters.gallop_steps += 7
+        base = counters.snapshot()
+        counters.merge_intersections += 1
+        delta = counters.delta_since(base)
+        assert delta["merge_intersections"] == 1
+        assert delta["gallop_steps"] == 0
+        counters.reset()
+        assert not any(counters.snapshot().values())
+
+    def test_delta_tolerates_missing_keys(self):
+        counters = KernelCounters()
+        counters.csr_builds = 4
+        assert counters.delta_since({})["csr_builds"] == 4
+
+    def test_repr_lists_counters(self):
+        assert "merge_intersections=0" in repr(KernelCounters())

@@ -44,6 +44,23 @@ class TestProfileCycle:
         assert report.counters["online.bound_evaluations"] > 0
         assert "online.heap_stale_skips" in report.counters
 
+    def test_kernel_counters_reported_as_cycle_deltas(self, fig1):
+        from repro.kernels.dispatch import use_kernels
+
+        with use_kernels("csr"):
+            report = profile_cycle(fig1, k=5, tau=2, repeat=1, updates=2)
+        kernel_keys = [
+            key for key in report.counters if key.startswith("kernels.")
+        ]
+        assert kernel_keys  # the cycle's build/online pass ran kernels
+        assert all(report.counters[key] > 0 for key in kernel_keys)
+        with use_kernels("set"):
+            report = profile_cycle(fig1, k=5, tau=2, repeat=1, updates=2)
+        # Deltas, not process-wide totals: the set-mode cycle adds none.
+        assert not any(
+            key.startswith("kernels.") for key in report.counters
+        )
+
     def test_render_is_printable(self, report):
         text = report.render()
         for stage in STAGES:

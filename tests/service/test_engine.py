@@ -165,3 +165,11 @@ class TestWatches:
         assert snapshot["batcher"]["requests"] >= 1
         assert "topk" in snapshot["endpoints"]
         assert snapshot["graph_version"] == 0
+
+    def test_metrics_include_kernel_counters(self, fig1):
+        from repro.kernels.counters import KERNEL_COUNTERS
+
+        engine = QueryEngine(fig1, batch_window=0.0)
+        snapshot = engine.obs.snapshot()
+        assert snapshot["kernels"] == KERNEL_COUNTERS.snapshot()
+        assert "merge_intersections" in snapshot["kernels"]
