@@ -9,6 +9,10 @@ Subcommands
 ``serve``        Long-lived query service over a maintained index (TCP/JSON);
                  with ``--data-dir`` it is durable (snapshot + WAL, crash
                  recovery on restart); ``--trace`` emits JSONL spans.
+``cluster``      Replicated serving tier (docs/CLUSTER.md): ``cluster start``
+                 boots a writer + N replicas + router; ``cluster status``
+                 queries a running router; ``cluster writer`` / ``cluster
+                 replica`` run one node (normally spawned by ``start``).
 ``profile``      Trace one build+query+update+persist cycle on a graph and
                  print the per-stage breakdown (docs/OBSERVABILITY.md).
 ``fsck``         Validate a ``--data-dir`` offline (checksums, WAL replay).
@@ -192,6 +196,138 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             close = getattr(trace_sink, "close", None)
             if close is not None:
                 close()
+    return 0
+
+
+def _cmd_cluster_writer(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.cluster import WriterConfig, WriterNode
+
+    graph = None
+    have_snapshot = args.data_dir and os.path.exists(
+        os.path.join(args.data_dir, "snapshot.esd")
+    )
+    if args.dataset or args.graph or not have_snapshot:
+        graph = _load_graph(args)
+    writer = WriterNode(
+        graph,
+        WriterConfig(
+            host=args.host,
+            port=args.port,
+            repl_host=args.host,
+            repl_port=args.repl_port,
+            data_dir=args.data_dir,
+            snapshot_interval=args.snapshot_interval,
+            fsync=not args.no_fsync,
+        ),
+    )
+    host, port = writer.address
+    print(f"esd cluster-writer: listening on {host}:{port}", flush=True)
+    repl_host, repl_port = writer.repl_address
+    print(
+        f"esd cluster-writer: replicating on {repl_host}:{repl_port}",
+        flush=True,
+    )
+    try:
+        writer.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        writer.shutdown()
+    return 0
+
+
+def _cmd_cluster_replica(args: argparse.Namespace) -> int:
+    from repro.cluster import ReplicaConfig, ReplicaNode
+
+    replica = ReplicaNode(
+        ReplicaConfig(
+            writer_host=args.writer_host,
+            writer_repl_port=args.writer_repl_port,
+            host=args.host,
+            port=args.port,
+            name=args.name,
+        )
+    )
+    host, port = replica.address
+    print(
+        f"esd cluster-replica[{args.name}]: listening on {host}:{port}",
+        flush=True,
+    )
+    try:
+        replica.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        replica.shutdown()
+    return 0
+
+
+def _cmd_cluster_start(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.cluster import ClusterConfig, ClusterSupervisor
+
+    writer_args: List[str] = []
+    if args.dataset:
+        writer_args += ["--dataset", args.dataset, "--scale", str(args.scale)]
+    if args.graph:
+        writer_args += ["--graph", args.graph]
+    if args.data_dir:
+        writer_args += ["--data-dir", args.data_dir]
+    if args.no_fsync:
+        writer_args.append("--no-fsync")
+    supervisor = ClusterSupervisor(
+        ClusterConfig(
+            replicas=args.replicas,
+            host=args.host,
+            router_port=args.port,
+            writer_args=writer_args,
+            max_lag=args.max_lag,
+        )
+    )
+    # A supervisor that dies must take its children with it: translate
+    # SIGTERM into the same clean teardown as Ctrl-C.
+    def _terminate(_signum, _frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    supervisor.start()
+    host, port = supervisor.writer_address
+    print(f"esd cluster: writer on {host}:{port}", flush=True)
+    for name, (rhost, rport) in supervisor.replica_addresses.items():
+        print(f"esd cluster: {name} on {rhost}:{rport}", flush=True)
+    host, port = supervisor.address
+    print(f"esd cluster: listening on {host}:{port}", flush=True)
+    try:
+        supervisor.serve_forever()
+    except KeyboardInterrupt:
+        print("esd cluster: interrupted, shutting down", file=sys.stderr)
+    finally:
+        supervisor.stop()
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import json
+    import socket
+
+    with socket.create_connection(
+        (args.host, args.port), timeout=args.timeout
+    ) as sock:
+        sock.sendall(b'{"op": "cluster-status"}\n')
+        data = b""
+        while not data.endswith(b"\n"):
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            data += chunk
+    response = json.loads(data.decode("utf-8"))
+    if not response.get("ok"):
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 2
+    print(json.dumps(response["result"], indent=2, sort_keys=True))
     return 0
 
 
@@ -381,6 +517,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit JSONL trace spans to FILE ('-' for stderr)",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="replicated serving tier (writer + replicas + router)"
+    )
+    csub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    pc_start = csub.add_parser(
+        "start", help="boot writer + N replicas + router as one cluster"
+    )
+    _add_graph_arguments(pc_start)
+    pc_start.add_argument("--host", default="127.0.0.1")
+    pc_start.add_argument(
+        "--port", type=int, default=7030,
+        help="router listening port (0 = ephemeral, printed at startup)",
+    )
+    pc_start.add_argument(
+        "--replicas", type=int, default=2,
+        help="read replicas to spawn (default 2)",
+    )
+    pc_start.add_argument(
+        "--max-lag", type=int, default=256,
+        help="versions of replication lag before a replica is evicted "
+        "from the read pool (bounded staleness)",
+    )
+    pc_start.add_argument(
+        "--data-dir",
+        help="writer's durable snapshot+WAL directory (recovered on restart)",
+    )
+    pc_start.add_argument(
+        "--no-fsync", action="store_true",
+        help="writer skips the per-append WAL fsync",
+    )
+    pc_start.set_defaults(func=_cmd_cluster_start)
+
+    pc_status = csub.add_parser(
+        "status", help="print a running router's cluster-status as JSON"
+    )
+    pc_status.add_argument("--host", default="127.0.0.1")
+    pc_status.add_argument("--port", type=int, default=7030)
+    pc_status.add_argument("--timeout", type=float, default=5.0)
+    pc_status.set_defaults(func=_cmd_cluster_status)
+
+    pc_writer = csub.add_parser(
+        "writer", help="run one cluster writer node (spawned by start)"
+    )
+    _add_graph_arguments(pc_writer)
+    pc_writer.add_argument("--host", default="127.0.0.1")
+    pc_writer.add_argument(
+        "--port", type=int, default=0,
+        help="client port (0 = ephemeral, printed at startup)",
+    )
+    pc_writer.add_argument(
+        "--repl-port", type=int, default=0,
+        help="replication port replicas connect to (0 = ephemeral)",
+    )
+    pc_writer.add_argument("--data-dir")
+    pc_writer.add_argument("--snapshot-interval", type=int, default=1000)
+    pc_writer.add_argument("--no-fsync", action="store_true")
+    pc_writer.set_defaults(func=_cmd_cluster_writer)
+
+    pc_replica = csub.add_parser(
+        "replica", help="run one read replica node (spawned by start)"
+    )
+    pc_replica.add_argument("--name", default="replica")
+    pc_replica.add_argument("--host", default="127.0.0.1")
+    pc_replica.add_argument(
+        "--port", type=int, default=0,
+        help="client port (0 = ephemeral, printed at startup)",
+    )
+    pc_replica.add_argument("--writer-host", required=True)
+    pc_replica.add_argument("--writer-repl-port", type=int, required=True)
+    pc_replica.set_defaults(func=_cmd_cluster_replica)
 
     p_profile = sub.add_parser(
         "profile",

@@ -29,10 +29,10 @@ from typing import Any, Dict
 
 from repro.persistence.errors import CorruptSnapshotError
 from repro.persistence.format import (
+    decode_container,
     encode_container,
     encode_json,
     json_section,
-    read_container,
 )
 
 SNAPSHOT_KIND = "esd-datadir-snapshot"
@@ -76,14 +76,24 @@ def write_snapshot(path, state: Dict[str, Any], *, fsync: bool = True) -> int:
 
 
 def read_snapshot(path) -> Dict[str, Any]:
-    """Read + validate a snapshot; return the state dict.
+    """Read + validate a snapshot file; return the state dict."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return decode_snapshot(data, path=path)
+
+
+def decode_snapshot(data: bytes, *, path=None) -> Dict[str, Any]:
+    """Validate snapshot bytes (file or wire) and return the state dict.
 
     Beyond the framing checks, cross-validates the section contents
     against each other (counts, alignment, canonical edge form) so a
     *logically* inconsistent snapshot fails loudly here rather than as a
-    mystery during replay.
+    mystery during replay.  The replication path
+    (:mod:`repro.cluster.replication`) ships these same bytes to
+    replicas, so a snapshot that survives this function is loadable
+    whether it arrived from disk or from the writer.
     """
-    sections = read_container(path, expect_kind=SNAPSHOT_KIND)
+    sections = decode_container(data, expect_kind=SNAPSHOT_KIND, path=path)
     stat = json_section(sections, b"STAT", path)
     vertices = json_section(sections, b"VERT", path)
     edges = json_section(sections, b"EDGE", path)

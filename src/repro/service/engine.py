@@ -149,6 +149,19 @@ class QueryEngine:
         """The attached :class:`DataDirectory`, or ``None`` (in-memory)."""
         return self._store
 
+    def read_locked(self):
+        """The engine's shared read lock, as a context manager.
+
+        For components that must observe a mutation-free snapshot of
+        the index *and* coordinate with the mutation subscribers -- the
+        replication publisher exports catch-up state under this lock so
+        no committed version can fall between its snapshot and its live
+        stream.  Lock ordering: the engine lock is always taken before
+        any component-internal lock (the mutation path already holds
+        the write side when subscribers run).
+        """
+        return self._lock.read_locked()
+
     def close(self) -> None:
         """Flush durability state and release file handles.
 

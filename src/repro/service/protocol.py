@@ -24,6 +24,23 @@ Error codes
 ``not_found``          the referenced edge/watch does not exist
 ``overloaded``         admission control rejected the request (backpressure)
 ``internal``           unexpected server-side failure
+``read_only``          a mutation was sent to a read replica
+``unavailable``        the cluster cannot serve this request right now
+                       (writer down, no replica fresh enough, backend
+                       timeout) -- safe to retry
+
+Cluster extension: read requests may carry an optional integer
+``min_version`` -- a *version token*.  A server honouring tokens only
+answers from state whose ``graph_version`` is at least that value (a
+replica that is behind answers ``unavailable`` instead).  Every
+successful response carries the serving ``graph_version`` in its
+result; echoing it back as ``min_version`` gives read-your-writes and
+monotonic reads across nodes (see docs/CLUSTER.md).
+
+One non-JSON special case: a request line starting with ``GET `` is
+treated as an HTTP scrape of the node's metrics and answered with a
+Prometheus text-exposition HTTP response (see
+:mod:`repro.obs.promtext`), then the connection is closed.
 """
 
 from __future__ import annotations
@@ -40,10 +57,26 @@ INVALID_ARGUMENT = "invalid_argument"
 NOT_FOUND = "not_found"
 OVERLOADED = "overloaded"
 INTERNAL = "internal"
+READ_ONLY = "read_only"
+UNAVAILABLE = "unavailable"
 
 ERROR_CODES = frozenset(
-    {BAD_REQUEST, UNKNOWN_OP, INVALID_ARGUMENT, NOT_FOUND, OVERLOADED, INTERNAL}
+    {
+        BAD_REQUEST,
+        UNKNOWN_OP,
+        INVALID_ARGUMENT,
+        NOT_FOUND,
+        OVERLOADED,
+        INTERNAL,
+        READ_ONLY,
+        UNAVAILABLE,
+    }
 )
+
+
+def is_http_get(line: bytes) -> bool:
+    """Is this request line the start of an HTTP GET (metrics scrape)?"""
+    return line.startswith(b"GET ") or line == b"GET"
 
 
 class ProtocolError(Exception):

@@ -16,6 +16,7 @@ command line.
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
 import time
@@ -23,9 +24,13 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.graph.graph import Graph
+from repro.obs.promtext import http_metrics_response, render_prometheus
 from repro.service import protocol
 from repro.service.engine import QueryEngine
 from repro.service.protocol import ProtocolError
+
+#: Content type of the Prometheus text-exposition format we render.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 @dataclass
@@ -85,6 +90,14 @@ class _LineHandler(socketserver.StreamRequestHandler):
             stripped = line.strip()
             if not stripped:
                 continue
+            if protocol.is_http_get(stripped):
+                # Prometheus/text scrape: answer with HTTP and close.
+                try:
+                    self.wfile.write(server.owner.handle_http_get())
+                    self.wfile.flush()
+                except OSError:
+                    pass
+                return
             response = server.owner.handle_line(stripped)
             try:
                 self.wfile.write(protocol.encode(response))
@@ -99,7 +112,39 @@ class _TCPServer(socketserver.ThreadingTCPServer):
 
     def __init__(self, address, owner: "ESDServer") -> None:
         self.owner = owner
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
         super().__init__(address, _LineHandler)
+
+    # Track live connection sockets so shutdown can sever them: the
+    # stock ThreadingTCPServer only closes the *listener*, leaving
+    # established connections (and their daemon handler threads) alive
+    # -- peers like the cluster router would never see EOF.
+
+    def get_request(self):
+        request, addr = super().get_request()
+        with self._connections_lock:
+            self._connections.add(request)
+        return request, addr
+
+    def shutdown_request(self, request) -> None:
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        with self._connections_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for request in connections:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                request.close()
+            except OSError:
+                pass
 
 
 class ESDServer:
@@ -149,6 +194,9 @@ class ESDServer:
         self._admission = threading.Semaphore(self.config.max_pending)
         self._tcp = _TCPServer((self.config.host, self.config.port), self)
         self._thread: Optional[threading.Thread] = None
+        self._serving = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -160,7 +208,11 @@ class ESDServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown`."""
-        self._tcp.serve_forever(poll_interval=0.1)
+        self._serving.set()
+        try:
+            self._tcp.serve_forever(poll_interval=0.1)
+        finally:
+            self._serving.clear()
 
     def start(self) -> "ESDServer":
         """Serve on a background daemon thread; returns ``self``."""
@@ -172,12 +224,28 @@ class ESDServer:
         self._thread.start()
         return self
 
-    def shutdown(self) -> None:
-        """Stop accepting connections, close the socket, flush durability."""
-        self._tcp.shutdown()
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        """Stop accepting connections, close the socket, flush durability.
+
+        Idempotent (a second call is a no-op) and bounded (the serve
+        thread is joined for at most ``join_timeout`` seconds), so a
+        supervisor cycling servers rapidly can always make progress.
+        The listening socket is ``SO_REUSEADDR``, so a successor may
+        rebind the same port immediately.
+        """
+        with self._shutdown_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._thread is not None or self._serving.is_set():
+            # socketserver's shutdown() handshakes with serve_forever and
+            # would block forever if the serve loop never ran; only wave
+            # it down when someone is (or is about to be) serving.
+            self._tcp.shutdown()
         self._tcp.server_close()
+        self._tcp.close_all_connections()
         if self._thread is not None:
-            self._thread.join(timeout=5)
+            self._thread.join(timeout=join_timeout)
             self._thread = None
         self.engine.close()
 
@@ -188,6 +256,14 @@ class ESDServer:
         self.shutdown()
 
     # -- request handling -----------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The unified registry rendered as Prometheus text exposition."""
+        return render_prometheus(self.engine.metrics_snapshot())
+
+    def handle_http_get(self) -> bytes:
+        """Answer a literal ``GET ...`` request line (metrics scrape)."""
+        return http_metrics_response(self.metrics_text())
 
     def handle_line(self, line: bytes) -> Dict[str, Any]:
         """Decode, admit, dispatch one request; always returns a response."""
@@ -266,6 +342,9 @@ class ESDServer:
             return engine.unwatch(protocol.int_field(message, "watch_id"))
         if op == "metrics":
             return engine.metrics_snapshot()
+        if op == "metrics-text":
+            return {"content_type": PROMETHEUS_CONTENT_TYPE,
+                    "text": self.metrics_text()}
         if op == "sleep":
             # Test/bench hook: occupy an admission slot for a while so
             # backpressure behaviour is observable deterministically.

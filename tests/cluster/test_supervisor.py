@@ -1,0 +1,122 @@
+"""End-to-end: ClusterSupervisor boots writer + replicas as OS processes.
+
+This is the ``esd cluster start`` path minus the foreground loop: child
+processes come from ``python -m repro.cli cluster writer|replica``, the
+router runs in this process, and clients talk to one address.  It is
+the same shape the CI cluster-smoke job drives from the shell.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterSupervisor
+from repro.graph.generators import gnm_random
+from repro.graph.io import write_edge_list
+from repro.service.client import ServiceClient
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+@pytest.fixture(autouse=True)
+def _pythonpath_for_children(monkeypatch):
+    monkeypatch.setenv(
+        "PYTHONPATH",
+        SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+    )
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    graph_file = tmp_path / "graph.txt"
+    write_edge_list(gnm_random(20, 60, seed=21), graph_file)
+    supervisor = ClusterSupervisor(
+        ClusterConfig(
+            replicas=2,
+            writer_args=["--graph", str(graph_file)],
+        )
+    ).start()
+    try:
+        yield supervisor
+    finally:
+        supervisor.stop()
+
+
+def _scrape(address):
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+        data = b""
+        while True:
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            data += chunk
+    return data
+
+
+def test_mixed_read_write_with_read_your_writes(cluster):
+    with ServiceClient(*cluster.address) as client:
+        assert client.ping()
+        baseline = client.topk(k=5)
+        assert baseline.graph_version == 0
+        for i in range(6):
+            version = client.request(
+                "update", action="insert", u=800 + i, v=801 + i
+            )["graph_version"]
+            read = client.topk(k=5)
+            assert read.graph_version >= version
+        status = client.request("cluster-status")
+    assert status["writer"]["connected"] is True
+    assert len(status["replicas"]) == 2
+
+
+def test_replicas_converge_and_report_lag_via_prometheus(cluster):
+    with ServiceClient(*cluster.address) as client:
+        for i in range(4):
+            client.request("update", action="insert", u=850 + i, v=851 + i)
+    deadline = time.monotonic() + 30
+    addresses = list(cluster.replica_addresses.values())
+    while time.monotonic() < deadline:
+        versions = []
+        for address in addresses:
+            with ServiceClient(*address) as client:
+                versions.append(
+                    client.request("cluster-info")["applied_version"]
+                )
+        if all(v == 4 for v in versions):
+            break
+        time.sleep(0.05)
+    else:
+        pytest.fail(f"replicas never converged: {versions}")
+    for address in addresses:
+        body = _scrape(address).partition(b"\r\n\r\n")[2].decode()
+        assert "esd_replication_applied_version 4" in body
+        assert "esd_replication_lag 0" in body
+    router_body = _scrape(cluster.address).partition(b"\r\n\r\n")[2].decode()
+    assert "esd_cluster_writer_version" in router_body
+
+
+def test_cluster_status_cli_verb(cluster):
+    host, port = cluster.address
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "cluster", "status",
+            "--host", host, "--port", str(port),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=30,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    status = json.loads(result.stdout)
+    assert status["role"] == "router"
+    assert {entry["name"] for entry in status["replicas"]} == {
+        "replica-0", "replica-1"
+    }

@@ -1,0 +1,83 @@
+"""Prometheus text-exposition renderer tests."""
+
+from repro.obs.promtext import http_metrics_response, render_prometheus
+
+
+def test_nested_counters_flatten_with_underscores():
+    text = render_prometheus(
+        {"counters": {"rejected_overload": 3, "cache": {"hits": 7}}}
+    )
+    assert "esd_counters_rejected_overload 3\n" in text
+    assert "esd_counters_cache_hits 7\n" in text
+
+
+def test_booleans_render_as_gauges():
+    text = render_prometheus({"connected": True, "evicted": False})
+    assert "esd_connected 1\n" in text
+    assert "esd_evicted 0\n" in text
+
+
+def test_strings_none_and_lists_are_skipped():
+    text = render_prometheus(
+        {
+            "role": "replica",
+            "lag": None,
+            "slow_queries": [{"op": "topk", "ms": 900}],
+            "kept": 1,
+        }
+    )
+    assert "replica" not in text
+    assert "slow_queries" not in text
+    assert "lag" not in text
+    assert text == "esd_kept 1\n"
+
+
+def test_endpoints_render_with_labels():
+    text = render_prometheus(
+        {
+            "endpoints": {
+                "topk": {"requests": 5, "p50_ms": 1.25, "note": "hi"},
+                "score": {"requests": 2},
+            }
+        }
+    )
+    assert 'esd_endpoint_requests{endpoint="topk"} 5' in text
+    assert 'esd_endpoint_p50_ms{endpoint="topk"} 1.25' in text
+    assert 'esd_endpoint_requests{endpoint="score"} 2' in text
+    assert "note" not in text
+
+
+def test_label_values_escaped():
+    text = render_prometheus(
+        {"endpoints": {'we"ird': {"requests": 1}}}
+    )
+    assert 'endpoint="we\\"ird"' in text
+
+
+def test_metric_names_sanitized():
+    text = render_prometheus({"bad key": {"9lives": 1}})
+    assert "esd_bad_key__9lives 1\n" in text
+
+
+def test_special_floats():
+    text = render_prometheus({"nan": float("nan"), "inf": float("inf")})
+    assert "esd_nan NaN" in text
+    assert "esd_inf +Inf" in text
+
+
+def test_deterministic_ordering():
+    snapshot = {"b": 2, "a": 1, "c": {"y": 4, "x": 3}}
+    assert render_prometheus(snapshot) == render_prometheus(dict(snapshot))
+    assert render_prometheus(snapshot).splitlines() == [
+        "esd_a 1", "esd_b 2", "esd_c_x 3", "esd_c_y 4",
+    ]
+
+
+def test_http_wrapper_headers_and_length():
+    body = "esd_up 1\n"
+    raw = http_metrics_response(body)
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.0 200 OK")
+    assert b"Content-Type: text/plain; version=0.0.4; charset=utf-8" in head
+    assert b"Content-Length: %d" % len(payload) in head
+    assert payload == body.encode()

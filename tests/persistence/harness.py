@@ -164,14 +164,20 @@ def check_case(case: Case, tmp_dir, *, snapshot_interval: int = 4) -> Optional[s
     return None
 
 
-def shrink_case(case: Case, make_dir, *, max_attempts: int = 200) -> Case:
+def shrink_case(case: Case, make_dir, *, max_attempts: int = 200, check=None) -> Case:
     """Delta-debug the op stream down to a minimal still-failing case.
 
     ``make_dir()`` must return a fresh empty directory per attempt.
     Tries removing chunks at halving granularity, then single ops; stops
     when no single removal reproduces the failure (1-minimal) or after
-    ``max_attempts`` runs.
+    ``max_attempts`` runs.  ``check`` is the failure oracle --
+    ``check(case, dir) -> Optional[str]``, defaulting to
+    :func:`check_case` (resolved at call time) -- so other differential
+    harnesses (e.g. the cluster replication test) reuse this shrinking
+    loop against their own end-to-end property.
     """
+    if check is None:
+        check = check_case
     attempts = 0
 
     def still_fails(ops: List[Op]) -> bool:
@@ -180,7 +186,7 @@ def shrink_case(case: Case, make_dir, *, max_attempts: int = 200) -> Case:
             return False
         attempts += 1
         candidate = Case(seed=case.seed, n=case.n, m=case.m, ops=ops)
-        return check_case(candidate, make_dir()) is not None
+        return check(candidate, make_dir()) is not None
 
     ops = list(case.ops)
     chunk = max(1, len(ops) // 2)

@@ -222,3 +222,65 @@ class TestConcurrency:
                 assert info.value.code == "unknown_op"
         finally:
             plain.shutdown()
+
+
+class TestRestartErgonomics:
+    """Rapid cycling, idempotent shutdown, metrics scraping (PR: cluster)."""
+
+    def test_rapid_stop_start_on_same_port(self):
+        # Bind an ephemeral port once, then cycle servers on that exact
+        # port back to back: SO_REUSEADDR must spare us EADDRINUSE.
+        probe = ESDServer(paper_example_graph(), ServerConfig(port=0))
+        port = probe.address[1]
+        probe.shutdown()
+        for _ in range(3):
+            instance = ESDServer(
+                paper_example_graph(), ServerConfig(port=port)
+            ).start()
+            try:
+                with ServiceClient(*instance.address) as c:
+                    assert c.ping()
+            finally:
+                instance.shutdown()
+
+    def test_shutdown_is_idempotent(self, server):
+        server.shutdown()
+        server.shutdown()  # second call is a no-op, not a hang/crash
+
+    def test_shutdown_without_serving_does_not_hang(self):
+        instance = ESDServer(paper_example_graph(), ServerConfig(port=0))
+        instance.shutdown()  # never started: must return promptly
+
+    def test_shutdown_severs_established_connections(self):
+        instance = ESDServer(
+            paper_example_graph(), ServerConfig(port=0)
+        ).start()
+        sock = socket.create_connection(instance.address)
+        f = sock.makefile("rwb")
+        f.write(b'{"op": "ping"}\n')
+        f.flush()
+        assert json.loads(f.readline())["result"] == "pong"
+        instance.shutdown()
+        assert f.readline() == b""  # peers see EOF, not a silent leak
+        sock.close()
+
+    def test_metrics_text_op(self, client):
+        client.topk(k=3)
+        result = client.request("metrics-text")
+        assert result["content_type"].startswith("text/plain; version=0.0.4")
+        assert "esd_graph_version 0" in result["text"]
+        assert 'esd_endpoint_requests{endpoint="topk"} 1' in result["text"]
+
+    def test_http_get_scrape(self, server):
+        with socket.create_connection(server.address) as sock:
+            sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+            data = b""
+            while True:
+                chunk = sock.recv(1 << 16)
+                if not chunk:
+                    break
+                data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 200 OK")
+        assert b"text/plain; version=0.0.4" in head
+        assert b"esd_graph_version 0" in body
