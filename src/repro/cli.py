@@ -248,6 +248,7 @@ def _cmd_cluster_replica(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             name=args.name,
+            shm_namespace=args.shm_namespace,
         )
     )
     host, port = replica.address
@@ -390,12 +391,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             baseline=Path(args.baseline) if args.baseline else None,
             tolerance=args.tolerance,
             metric=args.metric,
+            require_floors=args.require_floors,
         )
         print("\n\n".join(t.render() for t in tables))
         if exit_code:
-            print("REGRESSION: " + ", ".join(
-                _payload["comparison"]["regressions"]
-            ), file=sys.stderr)
+            failures = list(
+                _payload.get("comparison", {}).get("regressions", ())
+            )
+            if args.require_floors:
+                failures += [
+                    f"{name} (floor)"
+                    for name in _payload.get("floor_failures", ())
+                ]
+            print("REGRESSION: " + ", ".join(failures), file=sys.stderr)
         return exit_code
 
     runners = {
@@ -588,6 +596,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pc_replica.add_argument("--writer-host", required=True)
     pc_replica.add_argument("--writer-repl-port", type=int, required=True)
+    pc_replica.add_argument(
+        "--shm-namespace", default="",
+        help="shared-memory namespace for snapshot CSR segments "
+        "(empty = per-process kernels, no sharing)",
+    )
     pc_replica.set_defaults(func=_cmd_cluster_replica)
 
     p_profile = sub.add_parser(
@@ -647,6 +660,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric", choices=["median", "speedup"], default="speedup",
         help="regress only: comparison metric; 'speedup' (set/csr ratio) "
         "is machine independent, 'median' is raw csr seconds",
+    )
+    p_bench.add_argument(
+        "--require-floors", action="store_true",
+        help="regress only: additionally fail if any op's speedup falls "
+        "below its pinned SPEEDUP_FLOORS minimum",
     )
     p_bench.set_defaults(func=_cmd_bench)
     return parser

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.maintenance import DynamicESDIndex
+from repro.kernels.shm import shm_metrics
 from repro.obs.promtext import http_metrics_response, render_prometheus
 from repro.obs.registry import UnifiedRegistry
 from repro.obs.trace import TRACER
@@ -55,6 +56,12 @@ class ReplicaConfig:
     cache_size: int = 1024  #: LRU result-cache capacity (version-keyed)
     idle_timeout: float = 300.0  #: seconds before an idle client is dropped
     reconnect_backoff: float = 0.2
+    #: Shared-memory namespace for snapshot CSR segments (empty =
+    #: per-replica private kernels, no shared segments).  All replicas
+    #: of one cluster get the same namespace from the supervisor: the
+    #: first to install snapshot version ``v`` publishes
+    #: ``<namespace>-v<v>`` and the rest map it read-only.
+    shm_namespace: str = ""
 
 
 class ReplicaNode:
@@ -93,6 +100,8 @@ class ReplicaNode:
         self.obs.add_source("eventloop", self._loop.snapshot)
         self.obs.add_source("cache", self._cache.stats)
         self.obs.add_source("graph_version", lambda: self._applied)
+        self.obs.add_source("shm", shm_metrics)
+        self._segment = None  #: shared CSR segment of the applied snapshot
         self._thread: Optional[threading.Thread] = None
         self._shutdown_lock = threading.Lock()
         self._closed = False
@@ -133,6 +142,7 @@ class ReplicaNode:
             self._closed = True
         self._tailer.stop()
         self._loop.stop()
+        self._release_segment()
         if self._thread is not None:
             self._thread.join(timeout=join_timeout)
             self._thread = None
@@ -150,11 +160,62 @@ class ReplicaNode:
             "cluster.load_snapshot", version=state["graph_version"]
         ):
             dyn = DynamicESDIndex.from_state(state)
+            self._seed_kernel(dyn, state)
         with self._lock.write_locked():
             self._dyn = dyn
             self._applied = dyn.graph_version
             self._cache.clear()
         self.metrics.incr("snapshots_loaded")
+
+    def _seed_kernel(self, dyn: DynamicESDIndex, state: Dict[str, Any]) -> None:
+        """Install the snapshot CSR as a shared segment; seed the kernel.
+
+        With a namespace configured, replicas of one cluster share one
+        read-only CSR segment per snapshot version: the first installer
+        builds it straight from the state's edge list
+        (:func:`~repro.persistence.snapshot.csr_from_state`) and
+        publishes; the rest attach and map.  Either way the replica's
+        maintenance kernel adopts the segment's id space, so replication
+        records apply through the same id-space path the writer used --
+        no per-replica snapshot rebuild on the first mutation.  Any
+        failure falls back to the lazy per-replica kernel; serving
+        correctness never depends on shared memory.
+        """
+        from repro.kernels.dispatch import kernels_enabled
+
+        if not kernels_enabled():
+            return
+        from repro.kernels import shm
+        from repro.kernels.delta import MaintenanceKernel
+        from repro.persistence.snapshot import csr_from_state
+
+        if not self.config.shm_namespace or not shm.shm_available():
+            return
+        name = f"{self.config.shm_namespace}-v{state['graph_version']}"
+        try:
+            segment, created = shm.create_or_attach(
+                name, lambda: csr_from_state(state)
+            )
+            dyn.adopt_kernel(
+                MaintenanceKernel.from_csr(segment.csr(), dyn.graph.revision)
+            )
+        except Exception:
+            self.metrics.incr("shm_seed_failures")
+            return
+        self._release_segment()
+        self._segment = segment
+        self.metrics.incr(
+            "shm_segments_published" if created else "shm_segments_mapped"
+        )
+
+    def _release_segment(self) -> None:
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        if segment.creator:
+            segment.destroy()
+        else:
+            segment.detach()
 
     def _apply_record(self, record: WALRecord) -> bool:
         with self._lock.write_locked():

@@ -164,31 +164,34 @@ class ESDIndex:
     def set_edge(self, edge: Edge, sizes: Iterable[int]) -> None:
         """Insert or update ``edge`` with its component-size multiset.
 
-        Recomputes all of the edge's ``H(c)`` entries; creates (with
-        back-fill) and drops size classes as the global ``C`` changes.
+        Surgical: only the ``H(c)`` lists where the edge's key
+        ``(-score_at_c, edge)`` actually changes are touched.  A typical
+        maintenance update grows or shrinks one component by one member,
+        which shifts the score in a single class -- the other classes
+        keep their treaps byte-for-byte intact instead of paying a
+        remove+reinsert of an identical key.  Creates (with back-fill)
+        and drops size classes as the global ``C`` changes.
         """
         edge = self._canon(edge)
-        self._remove_entries(edge)
-        old_hist = self._sizes.pop(edge, None)
         new_hist = Counter(sizes)
         if any(s < 1 for s in new_hist):
             raise ValueError(f"component sizes must be >= 1, got {sorted(new_hist)}")
-
+        old_hist = self._sizes.pop(edge, None)
         vanished = self._update_support(old_hist, new_hist)
         if new_hist:
             self._sizes[edge] = new_hist
-            self._insert_entries(edge, new_hist)
+        self._update_entries(edge, old_hist, new_hist, set(vanished))
         self._create_new_classes(new_hist, old_hist)
         self._drop_classes(vanished)
 
     def remove_edge(self, edge: Edge) -> None:
         """Remove ``edge`` from the index entirely (no-op if untracked)."""
         edge = self._canon(edge)
-        if edge not in self._sizes:
+        old_hist = self._sizes.pop(edge, None)
+        if old_hist is None:
             return
-        self._remove_entries(edge)
-        old_hist = self._sizes.pop(edge)
         vanished = self._update_support(old_hist, Counter())
+        self._update_entries(edge, old_hist, Counter(), set(vanished))
         self._drop_classes(vanished)
 
     @classmethod
@@ -241,24 +244,42 @@ class ESDIndex:
 
     # -- internals --------------------------------------------------------------
 
-    def _remove_entries(self, edge: Edge) -> None:
-        """Drop the edge's key from every ``H(c)`` it currently occupies."""
-        hist = self._sizes.get(edge)
-        if not hist:
-            return
-        c_max = max(hist)
-        pos = bisect_left(self._class_keys, c_max + 1)
-        for c in self._class_keys[:pos]:
-            score = sum(count for size, count in hist.items() if size >= c)
-            self._classes[c].remove((-score, edge))
+    def _update_entries(
+        self,
+        edge: Edge,
+        old_hist: Optional[Counter],
+        new_hist: Counter,
+        dropping: set,
+    ) -> None:
+        """Reconcile the edge's key across every existing ``H(c)``.
 
-    def _insert_entries(self, edge: Edge, hist: Counter) -> None:
-        """Insert the edge into every existing ``H(c)`` with ``c <= c_max``."""
-        c_max = max(hist)
-        pos = bisect_left(self._class_keys, c_max + 1)
+        For each class the old and new score are compared; an unchanged
+        score means an identical key, so the treap is left alone.
+        Classes in ``dropping`` are skipped entirely -- their whole
+        treap is deleted by ``_drop_classes`` right after, so removing
+        one key from them first is wasted work.
+        """
+        old_max = max(old_hist) if old_hist else 0
+        new_max = max(new_hist) if new_hist else 0
+        pos = bisect_left(self._class_keys, max(old_max, new_max) + 1)
         for c in self._class_keys[:pos]:
-            score = sum(count for size, count in hist.items() if size >= c)
-            self._classes[c].insert((-score, edge))
+            old_score = (
+                sum(count for size, count in old_hist.items() if size >= c)
+                if old_max >= c
+                else 0
+            )
+            new_score = (
+                sum(count for size, count in new_hist.items() if size >= c)
+                if new_max >= c
+                else 0
+            )
+            if old_score == new_score or c in dropping:
+                continue
+            treap = self._classes[c]
+            if old_score:
+                treap.remove((-old_score, edge))
+            if new_score:
+                treap.insert((-new_score, edge))
 
     def _update_support(
         self, old_hist: Optional[Counter], new_hist: Counter

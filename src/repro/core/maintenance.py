@@ -21,6 +21,8 @@ from typing import Any, Callable, Dict, Iterable, List, Set, Tuple
 from repro.core.build import build_index_fast_with_components
 from repro.core.index import ESDIndex
 from repro.graph.graph import Edge, Graph, Vertex, canonical_edge
+from repro.kernels.delta import MaintenanceKernel
+from repro.kernels.dispatch import kernels_enabled
 from repro.obs.trace import TRACER
 from repro.structures.dsu import EdgeComponentSets
 
@@ -70,6 +72,7 @@ class DynamicESDIndex:
         self._version = 0
         self._mutations = MutationCounters()
         self._subscribers: List[MutationCallback] = []
+        self._kmaint: "MaintenanceKernel | None" = None
 
     # -- read-only views ------------------------------------------------------
 
@@ -134,6 +137,47 @@ class DynamicESDIndex:
         """The live ``M`` structure of ``edge`` (raises KeyError if absent)."""
         return self._components[canonical_edge(*edge)]
 
+    # -- kernel routing (ESD_KERNELS dispatch) -------------------------------
+
+    def _maintenance_kernel(self) -> "MaintenanceKernel | None":
+        """The live id-space mirror, or ``None`` when kernels are off.
+
+        Built lazily from the cached CSR snapshot (nearly free right
+        after an index build) and rebuilt whenever its revision drifted
+        from the graph's -- which happens when the kernel mode was
+        flipped mid-life, or after a restore -- or when vertex-removal
+        churn left too many dead id slots behind.
+        """
+        if not kernels_enabled():
+            return None
+        kernel = self._kmaint
+        if (
+            kernel is None
+            or kernel.revision != self._graph.revision
+            or kernel.bloated()
+        ):
+            from repro.kernels.csr import snapshot_csr
+
+            kernel = MaintenanceKernel.from_csr(
+                snapshot_csr(self._graph), self._graph.revision
+            )
+            self._kmaint = kernel
+        return kernel
+
+    def adopt_kernel(self, kernel: MaintenanceKernel) -> bool:
+        """Install a pre-built maintenance kernel; False if it is stale.
+
+        Cluster replicas hand over a kernel derived from the shared
+        snapshot CSR here, so replication records apply through the
+        id-space path without a per-replica rebuild.  A kernel whose
+        revision does not match the live graph is refused (the lazy
+        path would immediately replace it anyway).
+        """
+        if kernel.revision != self._graph.revision:
+            return False
+        self._kmaint = kernel
+        return True
+
     # -- insertion (Algorithm 4) ------------------------------------------------
 
     def insert_edge(self, u: Vertex, v: Vertex) -> UpdateStats:
@@ -160,6 +204,9 @@ class DynamicESDIndex:
 
     def _apply_insert(self, edge: Edge, u: Vertex, v: Vertex) -> UpdateStats:
         """Algorithm 4 proper, after the entry-point validation."""
+        kernel = self._maintenance_kernel()
+        if kernel is not None:
+            return self._apply_insert_kernel(kernel, edge, u, v)
         self._graph.add_edge(u, v)
         common = self._graph.common_neighbors(u, v)
         stats = UpdateStats(common_neighbors=len(common))
@@ -188,6 +235,68 @@ class DynamicESDIndex:
         self._committed("insert", edge)
         return stats
 
+    def _apply_insert_kernel(
+        self, kernel: MaintenanceKernel, edge: Edge, u: Vertex, v: Vertex
+    ) -> UpdateStats:
+        """Algorithm 4 on the id-space mirror (bit-identical results).
+
+        The union-find surgery is exactly the set path's; the kernel
+        replaces the *enumeration*: the common neighborhood is one AND,
+        ego edges come from a single bit scan (the set path walks the
+        neighbor sets twice -- once for the unions, once for the
+        affected-edge set), the new edge's partition is one flood fill
+        instead of per-ego-edge unions, and the affected edges are
+        collected as a list (unique by construction, no set hashing).
+        """
+        self._graph.add_edge(u, v)
+        iu, iv = kernel.note_insert(u, v, self._graph.revision)
+        common = kernel.common_mask(iu, iv)
+        stats = UpdateStats(common_neighbors=common.bit_count())
+        labels = kernel.labels
+        components = self._components
+
+        # Lines 3-9 via flood fill: M_uv is by definition the partition
+        # of N(uv) into components of G_N(uv), already live in the mirror.
+        m_new = EdgeComponentSets()
+        m_new.replace_partition(
+            [kernel.labels_of_mask(g) for g in kernel.flood_groups(common)]
+        )
+        components[edge] = m_new
+
+        affected: List[Edge] = [edge]
+        m_uw: Dict[int, EdgeComponentSets] = {}
+        m_vw: Dict[int, EdgeComponentSets] = {}
+        for w in kernel.common_ids(common):
+            wl = labels[w]
+            e_uw = (u, wl) if u < wl else (wl, u)
+            e_vw = (v, wl) if v < wl else (wl, v)
+            mu = components[e_uw]
+            mv = components[e_vw]
+            mu.add(v)
+            mv.add(u)
+            m_uw[w] = mu
+            m_vw[w] = mv
+            affected.append(e_uw)
+            affected.append(e_vw)
+
+        # Lines 10-19: the five remaining Unions per ego edge (the sixth,
+        # m_new's own, is subsumed by the flood-fill partition above).
+        pairs = kernel.ego_pairs(common)
+        stats.ego_edges = len(pairs)
+        for w1, w2 in pairs:
+            l1, l2 = labels[w1], labels[w2]
+            ego_edge = (l1, l2) if l1 < l2 else (l2, l1)
+            affected.append(ego_edge)
+            components[ego_edge].union(u, v)
+            m_uw[w1].union(v, l2)
+            m_vw[w1].union(u, l2)
+            m_uw[w2].union(v, l1)
+            m_vw[w2].union(u, l1)
+
+        self._rescore(affected, stats)
+        self._committed("insert", edge)
+        return stats
+
     # -- deletion (Algorithm 5) ---------------------------------------------
 
     def delete_edge(self, u: Vertex, v: Vertex) -> UpdateStats:
@@ -212,6 +321,9 @@ class DynamicESDIndex:
 
     def _apply_delete(self, edge: Edge, u: Vertex, v: Vertex) -> UpdateStats:
         """Algorithm 5 proper, after the entry-point validation."""
+        kernel = self._maintenance_kernel()
+        if kernel is not None:
+            return self._apply_delete_kernel(kernel, edge, u, v)
         common = self._graph.common_neighbors(u, v)
         stats = UpdateStats(common_neighbors=len(common))
         self._graph.remove_edge(u, v)
@@ -242,6 +354,70 @@ class DynamicESDIndex:
         self._committed("delete", edge)
         return stats
 
+    def _apply_delete_kernel(
+        self, kernel: MaintenanceKernel, edge: Edge, u: Vertex, v: Vertex
+    ) -> UpdateStats:
+        """Algorithm 5 on the id-space mirror (bit-identical results).
+
+        Same union-find surgery as the set path; the kernel supplies the
+        enumeration.  The common neighborhood of ``(u, v)`` is unchanged
+        by removing the ``u <-> v`` bits themselves (neither endpoint
+        can be its own common neighbor), so it is read off *after* the
+        mirror update.
+        """
+        self._graph.remove_edge(u, v)
+        iu, iv = kernel.note_delete(u, v, self._graph.revision)
+        common = kernel.common_mask(iu, iv)
+        stats = UpdateStats(common_neighbors=common.bit_count())
+        labels = kernel.labels
+        components = self._components
+        affected: List[Edge] = []
+
+        def reflood(m: EdgeComponentSets, a: int, b: int) -> None:
+            # Deletion can only split components, and union-find cannot
+            # split -- the set path re-partitions by scanning the stale
+            # component's members and their neighbor sets.  The mirror
+            # already holds the post-delete adjacency, so the fresh
+            # partition of M_{ab} is one flood fill over N(a) ∩ N(b).
+            m.replace_partition(
+                [
+                    kernel.labels_of_mask(g)
+                    for g in kernel.flood_groups(kernel.common_mask(a, b))
+                ]
+            )
+
+        # Lines 3-9: v leaves N(uw) and u leaves N(vw) for each w.  A
+        # singleton leaver is discarded in O(1); otherwise its whole M is
+        # re-derived by flood (the leaver is already out of the mask).
+        for w in kernel.common_ids(common):
+            wl = labels[w]
+            e_uw = (u, wl) if u < wl else (wl, u)
+            e_vw = (v, wl) if v < wl else (wl, v)
+            m = components[e_uw]
+            if not m.discard_singleton(v):
+                reflood(m, iu, w)
+            m = components[e_vw]
+            if not m.discard_singleton(u):
+                reflood(m, iv, w)
+            affected.append(e_uw)
+            affected.append(e_vw)
+
+        # Lines 10-18: u and v may fall apart in each M_{w1 w2}.  The bit
+        # scan yields each ego edge exactly once, so no dedup set.
+        pairs = kernel.ego_pairs(common)
+        stats.ego_edges = len(pairs)
+        for w1, w2 in pairs:
+            l1, l2 = labels[w1], labels[w2]
+            ego_edge = (l1, l2) if l1 < l2 else (l2, l1)
+            affected.append(ego_edge)
+            reflood(components[ego_edge], w1, w2)
+
+        self._rescore(affected, stats)
+        self._index.remove_edge(edge)
+        del self._components[edge]
+        self._committed("delete", edge)
+        return stats
+
     # -- vertex updates (§V: a vertex update is a series of edge updates) ---
 
     def insert_vertex(self, v: Vertex, neighbors: Iterable[Vertex]) -> List[UpdateStats]:
@@ -261,7 +437,13 @@ class DynamicESDIndex:
             )
         if v in self._graph and self._graph.degree(v) > 0:
             raise ValueError(f"vertex already in graph with edges: {v!r}")
+        before = self._graph.revision
         self._graph.add_vertex(v)
+        kernel = self._kmaint
+        if kernel is not None and kernel.revision == before:
+            # Keep an in-sync mirror in sync; a stale one is left to the
+            # revision check in _maintenance_kernel.
+            kernel.note_add_vertex(v, self._graph.revision)
         return [self.insert_edge(v, w) for w in targets]
 
     def delete_vertex(self, v: Vertex) -> List[UpdateStats]:
@@ -271,7 +453,11 @@ class DynamicESDIndex:
         stats = [
             self.delete_edge(v, w) for w in sorted(self._graph.neighbors(v))
         ]
+        before = self._graph.revision
         self._graph.remove_vertex(v)
+        kernel = self._kmaint
+        if kernel is not None and kernel.revision == before:
+            kernel.note_remove_vertex(v, self._graph.revision)
         return stats
 
     # -- batch updates ---------------------------------------------------------
@@ -299,6 +485,16 @@ class DynamicESDIndex:
             if u == v:
                 raise ValueError(
                     f"self-loop not allowed in batch: ({u!r}, {v!r})"
+                )
+        if insertions:
+            # Batched edge updates amortize re-interning: allocate ids
+            # for every incoming label once, up front, instead of one
+            # dict miss per constituent update.  Extra ids for labels
+            # that never materialize are harmless (empty adjacency).
+            kernel = self._maintenance_kernel()
+            if kernel is not None:
+                kernel.prepare(
+                    label for pair in insertions for label in pair
                 )
         total = UpdateStats()
         for u, v in deletions:
@@ -380,6 +576,7 @@ class DynamicESDIndex:
             insertions=state["insertions"], deletions=state["deletions"]
         )
         self._subscribers = []
+        self._kmaint = None
         return self
 
     # -- invariant checking (testing hook) -------------------------------------

@@ -46,9 +46,17 @@ from repro.kernels.dispatch import kernels_enabled
 # Worker-side state, inherited through fork (set before pool creation).
 _WORKER_GRAPH: Graph = None  # type: ignore[assignment]
 _WORKER_DAG: OrientedGraph = None  # type: ignore[assignment]
-# Worker-side CSR snapshot, rebuilt once per worker from the shipped
-# flat arrays (pool initializer), never re-pickled per chunk.
+# Worker-side CSR snapshot, mapped (shared-memory route) or rebuilt
+# (pickled-arrays fallback) once per worker in the pool initializer,
+# never re-pickled per chunk.
 _WORKER_CSR = None
+
+#: How the most recent kernel-route pool run shipped its snapshot:
+#: ``mode`` is ``"shm"`` or ``"pickle"``, ``initargs_bytes`` is the
+#: pickled size of the pool initargs (the whole per-worker serialization
+#: cost), ``segment_bytes`` the shared segment size (0 on fallback).
+#: Tests assert the shm route ships names, not arrays.
+LAST_SHIP_INFO: Dict[str, object] = {}
 
 
 def _resolve_threads(threads: int) -> int:
@@ -123,6 +131,21 @@ def _init_worker_csr(offsets, neighbors, dag_start, labels) -> None:
     _WORKER_CSR.ensure_bits()
 
 
+def _init_worker_shared(segment_name: str) -> None:
+    """Pool initializer: map the parent's shared CSR segment read-only.
+
+    Only the segment *name* crossed the process boundary; the flat
+    arrays are memoryview casts into the mapping.  The worker never
+    closes the segment itself -- the mapping dies with the (forked)
+    worker process, and the parent owns the unlink.
+    """
+    global _WORKER_CSR
+    from repro.kernels.shm import SharedCSRSegment
+
+    _WORKER_CSR = SharedCSRSegment.attach(segment_name).csr()
+    _WORKER_CSR.ensure_bits()
+
+
 def _component_sizes_chunk_ids(chunk: array) -> Dict[Tuple[int, int], Tuple[int, ...]]:
     """Worker: flood-fill sizes for a packed ``array('l')`` of id pairs."""
     from repro.kernels.components import _flood_fill_sizes
@@ -162,15 +185,39 @@ def _parallel_component_sizes_kernel(
     ]
     canon = csr.canonical_label_edge
     merged: Dict[Edge, Tuple[int, ...]] = {}
-    ctx = mp.get_context("fork")
-    with ctx.Pool(
-        processes=threads,
-        initializer=_init_worker_csr,
-        initargs=csr.ship(),
-    ) as pool:
-        for part in pool.map(_component_sizes_chunk_ids, id_chunks):
-            for (a, b), sizes in part.items():
-                merged[canon(a, b)] = sizes
+    segment = None
+    initializer, initargs = _init_worker_csr, csr.ship()
+    from repro.kernels import shm
+
+    if shm.shm_available():
+        try:
+            segment = shm.SharedCSRSegment.create(csr)
+            initializer, initargs = _init_worker_shared, (segment.name,)
+        except Exception:
+            # /dev/shm full or unusable: the pickled-arrays route still
+            # produces identical results, just with per-worker copies.
+            segment = None
+    import pickle as _pickle
+
+    LAST_SHIP_INFO.clear()
+    LAST_SHIP_INFO.update(
+        mode="shm" if segment is not None else "pickle",
+        initargs_bytes=len(_pickle.dumps(initargs)),
+        segment_bytes=segment.size if segment is not None else 0,
+    )
+    try:
+        ctx = mp.get_context("fork")
+        with ctx.Pool(
+            processes=threads,
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            for part in pool.map(_component_sizes_chunk_ids, id_chunks):
+                for (a, b), sizes in part.items():
+                    merged[canon(a, b)] = sizes
+    finally:
+        if segment is not None:
+            segment.destroy()
     return merged
 
 

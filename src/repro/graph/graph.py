@@ -19,6 +19,11 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
 
+#: Bounded length of the per-graph mutation changelog.  Enough to cover
+#: a burst of maintenance traffic between two kernel snapshots; anything
+#: older falls off the front and forces a full snapshot rebuild.
+CHANGELOG_LIMIT = 512
+
 
 def canonical_edge(u: Vertex, v: Vertex) -> Edge:
     """Return the canonical undirected representation of edge ``(u, v)``."""
@@ -34,12 +39,16 @@ class Graph:
     methods yield canonical ``(small, large)`` tuples.
     """
 
-    __slots__ = ("_adj", "_m", "_revision", "__weakref__")
+    __slots__ = ("_adj", "_m", "_revision", "_log", "_log_base", "__weakref__")
 
     def __init__(self, edges: Iterable[Tuple[Vertex, Vertex]] = ()) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._m = 0
         self._revision = 0
+        # Mutation changelog: ``_log[i]`` is the structural change that
+        # moved the revision from ``_log_base + i`` to ``_log_base+i+1``.
+        self._log: List[Tuple] = []
+        self._log_base = 0
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -82,11 +91,38 @@ class Graph:
 
     # -- mutation -------------------------------------------------------------
 
+    def _record(self, entry: Tuple) -> None:
+        """Log one changelog entry for the revision bump just made."""
+        log = self._log
+        log.append(entry)
+        if len(log) > CHANGELOG_LIMIT:
+            drop = len(log) - CHANGELOG_LIMIT
+            del log[:drop]
+            self._log_base += drop
+
+    def changes_since(self, revision: int) -> "List[Tuple] | None":
+        """The changelog entries applied after ``revision``, oldest first.
+
+        Returns ``None`` when the bounded log no longer covers that
+        revision (too many mutations since), in which case derived
+        snapshots must rebuild from scratch.  Entries are tuples tagged
+        ``("+e", u, v)``, ``("-e", u, v)``, ``("+v", u)`` or
+        ``("-v", u, neighbors)`` -- the latter carries the neighbor set
+        removed alongside the vertex, since ``remove_vertex`` deletes
+        many edges under a single revision bump.
+        """
+        if revision == self._revision:
+            return []
+        if revision < self._log_base or revision > self._revision:
+            return None
+        return self._log[revision - self._log_base :]
+
     def add_vertex(self, u: Vertex) -> None:
         """Add an isolated vertex (no-op if present)."""
         if u not in self._adj:
             self._adj[u] = set()
             self._revision += 1
+            self._record(("+v", u))
 
     def add_edge(self, u: Vertex, v: Vertex) -> bool:
         """Add undirected edge ``(u, v)``; return True if it was new."""
@@ -100,6 +136,7 @@ class Graph:
         self._adj[v].add(u)
         self._m += 1
         self._revision += 1
+        self._record(("+e", u, v))
         return True
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
@@ -111,6 +148,7 @@ class Graph:
             raise KeyError(f"edge not in graph: ({u!r}, {v!r})") from None
         self._m -= 1
         self._revision += 1
+        self._record(("-e", u, v))
 
     def remove_vertex(self, u: Vertex) -> None:
         """Remove ``u`` and all incident edges; raises KeyError if absent."""
@@ -119,6 +157,7 @@ class Graph:
             self._adj[v].remove(u)
         self._m -= len(neighbors)
         self._revision += 1
+        self._record(("-v", u, tuple(neighbors)))
 
     # -- queries ---------------------------------------------------------------
 

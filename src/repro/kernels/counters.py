@@ -25,6 +25,8 @@ class KernelCounters:
 
     __slots__ = (
         "csr_builds",
+        "csr_patches",
+        "maintenance_kernels",
         "merge_intersections",
         "gallop_intersections",
         "bitset_intersections",
@@ -41,6 +43,8 @@ class KernelCounters:
     def reset(self) -> None:
         """Zero every counter (tests and ``esd profile`` baselines)."""
         self.csr_builds = 0
+        self.csr_patches = 0
+        self.maintenance_kernels = 0
         self.merge_intersections = 0
         self.gallop_intersections = 0
         self.bitset_intersections = 0

@@ -30,7 +30,7 @@ import weakref
 from array import array
 from bisect import bisect_right
 from itertools import chain
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 from repro.graph.graph import Graph
 from repro.kernels.counters import KERNEL_COUNTERS
@@ -41,6 +41,12 @@ __all__ = ["CSRGraph", "snapshot_csr"]
 #: Vertex degree at or above which an intersection kernel may build the
 #: bitset layer on demand (the "very high-degree" fallback).
 BITSET_DEGREE_FALLBACK = 256
+
+#: Largest changelog (``Graph.changes_since``) the snapshot cache will
+#: absorb by patching the previous CSR instead of rebuilding it.  Beyond
+#: this the dirty set approaches the whole graph and a counting-sort
+#: rebuild is cheaper than bookkeeping.
+PATCH_OPS_LIMIT = 128
 
 
 class CSRGraph:
@@ -97,6 +103,104 @@ class CSRGraph:
         dag_start = array("l", [0] * n)
         total = 0
         for i, row in enumerate(rows):
+            dag_start[i] = total + bisect_right(row, i)
+            total += len(row)
+            offsets[i + 1] = total
+        neighbors = array("l", chain.from_iterable(rows)) if n else array("l")
+        KERNEL_COUNTERS.csr_builds += 1
+        return cls(offsets, neighbors, dag_start, interner)
+
+    @classmethod
+    def from_graph_patched(
+        cls, graph: Graph, old: "CSRGraph", changes: List[Tuple]
+    ) -> "CSRGraph":
+        """Snapshot ``graph`` by patching ``old`` with a small changelog.
+
+        The degree-rank id order must still be recomputed (any edge
+        mutation shifts two degrees, and with them the permutation), but
+        most *rows* survive: a row's content -- the sorted ids of its
+        neighbors -- changes only if the vertex's neighborhood changed
+        or one of its neighbors was assigned a new id.  Clean rows are
+        copied out of ``old`` as C-level array slices; only dirty rows
+        are rebuilt from the graph.  Cost is ``O(n)`` plus the dirty
+        rows, versus ``O(n log n + m)`` for :meth:`from_graph`.
+        """
+        dirty = set()
+        for entry in changes:
+            tag = entry[0]
+            if tag == "+e" or tag == "-e":
+                dirty.add(entry[1])
+                dirty.add(entry[2])
+            elif tag == "+v":
+                dirty.add(entry[1])
+            else:  # "-v": the vertex is gone, its neighbors lost a row entry
+                dirty.update(entry[2])
+        order = sorted(graph.vertices(), key=lambda u: (graph.degree(u), u))
+        interner = VertexInterner(order)
+        ids = interner.ids
+        old_ids = old.interner.ids
+        # A clean row additionally requires every neighbor to keep its
+        # old id: collect moved/new labels, then spread to neighbors.
+        moved = [
+            label for label, i in ids.items() if old_ids.get(label) != i
+        ]
+        rebuild = {label for label in dirty if label in ids}
+        for label in moved:
+            rebuild.add(label)
+            rebuild.update(graph.neighbors(label))
+        n = len(order)
+        offsets = array("l", [0] * (n + 1))
+        dag_start = array("l", [0] * n)
+        neighbors = array("l")
+        old_offsets, old_neighbors = old.offsets, old.neighbors
+        total = 0
+        for uid, label in enumerate(order):
+            if label in rebuild:
+                row = sorted(map(ids.__getitem__, graph.neighbors(label)))
+            else:
+                o = old_ids[label]
+                row = old_neighbors[old_offsets[o] : old_offsets[o + 1]]
+            dag_start[uid] = total + bisect_right(row, uid)
+            total += len(row)
+            offsets[uid + 1] = total
+            neighbors.extend(row)
+        KERNEL_COUNTERS.csr_patches += 1
+        return cls(offsets, neighbors, dag_start, interner)
+
+    @classmethod
+    def from_edgelist(
+        cls, vertices: Iterable[Hashable], edges: Iterable[Tuple]
+    ) -> "CSRGraph":
+        """Build straight from a vertex/edge listing, skipping ``Graph``.
+
+        The persistence fast path: a decoded snapshot state already *is*
+        a vertex list plus canonical edge list, so the CSR a restoring
+        node needs (to publish as a shared segment, or to seed the
+        maintenance kernel) can be interned without first materializing
+        dict-of-set adjacency.  Uses the same ``(degree, label)``
+        ordering as :meth:`from_graph`, so the result is identical to
+        ``from_graph`` on the equivalent graph.
+        """
+        degree: Dict[Hashable, int] = {v: 0 for v in vertices}
+        pairs = []
+        for u, v in edges:
+            degree[u] += 1
+            degree[v] += 1
+            pairs.append((u, v))
+        order = sorted(degree, key=lambda u: (degree[u], u))
+        interner = VertexInterner(order)
+        ids = interner.ids
+        n = len(order)
+        rows: List[List[int]] = [[] for _ in range(n)]
+        for u, v in pairs:
+            iu, iv = ids[u], ids[v]
+            rows[iu].append(iv)
+            rows[iv].append(iu)
+        offsets = array("l", [0] * (n + 1))
+        dag_start = array("l", [0] * n)
+        total = 0
+        for i, row in enumerate(rows):
+            row.sort()
             dag_start[i] = total + bisect_right(row, i)
             total += len(row)
             offsets[i + 1] = total
@@ -240,14 +344,29 @@ _SNAPSHOT_CACHE: Dict[int, Tuple["weakref.ref", int, CSRGraph]] = {}
 
 
 def snapshot_csr(graph: Graph) -> CSRGraph:
-    """The cached CSR snapshot of ``graph`` at its current revision."""
+    """The cached CSR snapshot of ``graph`` at its current revision.
+
+    When the graph advanced by a small revision delta since the cached
+    snapshot, the new snapshot is produced by patching the old one
+    (:meth:`CSRGraph.from_graph_patched`) instead of a full rebuild --
+    the delta-CSR fast path the maintenance loop leans on.
+    """
     key = id(graph)
     cached = _SNAPSHOT_CACHE.get(key)
+    stale = None
     if cached is not None:
         ref, revision, csr = cached
-        if ref() is graph and revision == graph.revision:
-            return csr
-    csr = CSRGraph.from_graph(graph)
+        if ref() is graph:
+            if revision == graph.revision:
+                return csr
+            stale = (revision, csr)
+    csr = None
+    if stale is not None:
+        changes = graph.changes_since(stale[0])
+        if changes is not None and len(changes) <= PATCH_OPS_LIMIT:
+            csr = CSRGraph.from_graph_patched(graph, stale[1], changes)
+    if csr is None:
+        csr = CSRGraph.from_graph(graph)
 
     def _evict(_ref, _key=key):
         _SNAPSHOT_CACHE.pop(_key, None)

@@ -1,0 +1,473 @@
+"""Named shared-memory CSR segments: ship a snapshot across processes once.
+
+The parallel builder used to pickle the flat CSR arrays into every pool
+worker through the initializer -- O(m) bytes serialized *per worker*.
+A :class:`SharedCSRSegment` instead publishes the snapshot one time as
+a named ``multiprocessing.shared_memory`` segment; workers (and cluster
+replicas on the same host) map it read-only and reconstruct a
+:class:`~repro.kernels.csr.CSRGraph` whose offset/neighbor/dag arrays
+are zero-copy ``memoryview`` casts straight into the mapping.  Only the
+segment *name* crosses the process boundary.
+
+Layout (little-endian, 64-bit words)::
+
+    header   magic(8) ready(8) item_size(8) n(8) half_edges(8) labels(8)
+    body     offsets[(n+1)]  dag_start[n]  neighbors[2m]  labels-pickle
+
+``ready`` is written last by the creator, so a concurrent attacher that
+wins the name race but loses the fill race can poll it instead of
+reading a half-written body (:meth:`SharedCSRSegment.attach` does the
+polling; :func:`create_or_attach` packages the whole race).
+
+Lifecycle rules this module enforces:
+
+* every live handle is tracked in a process-local registry that feeds
+  the ``shm`` metrics source (:func:`shm_metrics`: live segment count,
+  mapped bytes, attach/detach counters);
+* an ``atexit`` hook destroys segments *created by this process* and
+  detaches the rest.  The creator check compares PIDs, so a forked
+  worker that inherited the handle can never unlink its parent's
+  segment;
+* ``resource_tracker`` is kept out of the loop entirely (see
+  :func:`_tracking_disabled`): this module's hooks are the single
+  cleanup authority, so the tracker can neither double-unlink nor spam
+  leak warnings at interpreter shutdown;
+* segment names embed the creator PID (``esd-<pid>-<purpose>-<seq>``),
+  so :func:`sweep_stale_segments` can reap segments whose creator died
+  without cleanup (kill -9) by testing the PID -- the supervisor and
+  the CI leak gate both call it.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import struct
+import time
+from array import array
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.kernels.csr import CSRGraph
+from repro.kernels.intern import VertexInterner
+
+__all__ = [
+    "SHM_COUNTERS",
+    "SharedCSRSegment",
+    "ShmCounters",
+    "create_or_attach",
+    "live_segments",
+    "shm_available",
+    "shm_metrics",
+    "sweep_stale_segments",
+    "unlink_namespace",
+]
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+_MAGIC = b"ESDCSR1\0"
+_HEADER = struct.Struct("<8s5Q")  # magic, ready, item_size, n, 2m, labels
+_READY_OFFSET = 8  # byte offset of the ready word inside the header
+_ITEM = array("l").itemsize
+
+#: Prefix every segment name carries (``sweep_stale_segments`` keys on it).
+NAME_PREFIX = "esd-"
+
+_sequence = 0
+
+
+def shm_available() -> bool:
+    """True when the platform supports named shared memory."""
+    return shared_memory is not None
+
+
+def _next_name(purpose: str) -> str:
+    global _sequence
+    _sequence += 1
+    return f"{NAME_PREFIX}{os.getpid()}-{purpose}-{_sequence}"
+
+
+@contextmanager
+def _tracking_disabled():
+    """Keep ``resource_tracker`` entirely out of segment lifecycles.
+
+    The stdlib registers every ``SharedMemory`` -- attached or created --
+    with the tracker (3.13's ``track=False`` is not available here).
+    That is wrong for this module twice over: the tracker's cache is a
+    *set*, so N attachers unregistering one shared name underflow it
+    into shutdown KeyErrors, and a hard-killed creator makes the tracker
+    print "leaked shared_memory" warnings while racing our own sweep.
+    This module's atexit hook plus :func:`sweep_stale_segments` are the
+    single cleanup authority, so registration is suppressed at the
+    source.  The patch is process-local and held only across the
+    ``SharedMemory`` constructor.
+    """
+    if resource_tracker is None:  # pragma: no cover
+        yield
+        return
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+def _unlink_quiet(shm) -> None:
+    """Remove the segment name without telling the resource tracker.
+
+    Raises ``FileNotFoundError`` if already unlinked (callers decide
+    whether that matters).
+    """
+    try:
+        from multiprocessing.shared_memory import _posixshmem
+    except ImportError:  # pragma: no cover - non-POSIX: unlink is a no-op
+        shm.unlink()
+        return
+    _posixshmem.shm_unlink(shm._name)
+
+
+class ShmCounters:
+    """Cumulative lifecycle counters for the shared-memory layer."""
+
+    __slots__ = (
+        "segments_created",
+        "segments_attached",
+        "segments_detached",
+        "segments_unlinked",
+        "attach_timeouts",
+        "stale_swept",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (tests, ``esd profile`` baselines)."""
+        self.segments_created = 0
+        self.segments_attached = 0
+        self.segments_detached = 0
+        self.segments_unlinked = 0
+        self.attach_timeouts = 0
+        self.stale_swept = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-ready view of all counters."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={getattr(self, name)}" for name in self.__slots__
+        )
+        return f"ShmCounters({inner})"
+
+
+#: The process-wide instance; feeds the ``shm`` metrics source.
+SHM_COUNTERS = ShmCounters()
+
+#: Live handles of this process, keyed by handle identity (one segment
+#: can legitimately have several handles, e.g. a test that attaches its
+#: own creation).
+_LIVE: Dict[int, "SharedCSRSegment"] = {}
+
+
+def live_segments() -> List["SharedCSRSegment"]:
+    """Handles this process currently holds (creator or attacher)."""
+    return list(_LIVE.values())
+
+
+def shm_metrics() -> Dict[str, int]:
+    """Metrics source: lifecycle counters plus live-mapping gauges."""
+    out = SHM_COUNTERS.snapshot()
+    segments = list(_LIVE.values())
+    out["live_segments"] = len(segments)
+    out["mapped_bytes"] = sum(seg.size for seg in segments)
+    return out
+
+
+class SharedCSRSegment:
+    """One named shared-memory segment holding a serialized CSR snapshot."""
+
+    __slots__ = ("name", "size", "creator", "creator_pid", "_shm", "_views")
+
+    def __init__(self, shm, *, creator: bool) -> None:
+        self.name = shm.name
+        self.size = shm.size
+        self.creator = creator
+        self.creator_pid = os.getpid() if creator else -1
+        self._shm = shm
+        self._views: List[memoryview] = []
+        _LIVE[id(self)] = self
+
+    # -- creation / attachment ---------------------------------------------
+
+    @classmethod
+    def create(
+        cls, csr: CSRGraph, name: Optional[str] = None
+    ) -> "SharedCSRSegment":
+        """Publish ``csr`` under ``name`` (generated when omitted).
+
+        Raises ``FileExistsError`` if the name is taken -- callers that
+        race (cluster replicas installing the same snapshot version) go
+        through :func:`create_or_attach` instead.
+        """
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("shared memory not available on this platform")
+        offsets, neighbors, dag_start, labels = csr.ship()
+        blob = pickle.dumps(labels, protocol=pickle.HIGHEST_PROTOCOL)
+        n = len(labels)
+        body = (len(offsets) + len(dag_start) + len(neighbors)) * _ITEM
+        total = _HEADER.size + body + len(blob)
+        with _tracking_disabled():
+            shm = shared_memory.SharedMemory(
+                name=name or _next_name("csr"), create=True, size=max(total, 1)
+            )
+        buf = shm.buf
+        _HEADER.pack_into(
+            buf, 0, _MAGIC, 0, _ITEM, n, len(neighbors), len(blob)
+        )
+        pos = _HEADER.size
+        for arr in (offsets, dag_start, neighbors):
+            nbytes = len(arr) * _ITEM
+            buf[pos : pos + nbytes] = arr.tobytes()
+            pos += nbytes
+        buf[pos : pos + len(blob)] = blob
+        # Publish: the ready word flips only after the body is complete.
+        struct.pack_into("<Q", buf, _READY_OFFSET, 1)
+        SHM_COUNTERS.segments_created += 1
+        return cls(shm, creator=True)
+
+    @classmethod
+    def attach(cls, name: str, timeout: float = 10.0) -> "SharedCSRSegment":
+        """Map an existing segment, waiting up to ``timeout`` for ready.
+
+        Raises ``FileNotFoundError`` if no segment has the name and
+        ``TimeoutError`` if the creator never finished publishing.
+        """
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("shared memory not available on this platform")
+        with _tracking_disabled():
+            shm = shared_memory.SharedMemory(name=name)
+        deadline = time.monotonic() + timeout
+        while struct.unpack_from("<Q", shm.buf, _READY_OFFSET)[0] != 1:
+            if time.monotonic() >= deadline:
+                shm.close()
+                SHM_COUNTERS.attach_timeouts += 1
+                raise TimeoutError(
+                    f"shared segment {name!r} never became ready"
+                )
+            time.sleep(0.001)
+        SHM_COUNTERS.segments_attached += 1
+        return cls(shm, creator=False)
+
+    # -- payload ------------------------------------------------------------
+
+    def csr(self) -> CSRGraph:
+        """Reconstruct the snapshot; array fields are zero-copy views.
+
+        The returned graph's ``offsets``/``neighbors``/``dag_start`` are
+        ``memoryview`` casts into the mapping (labels are unpickled, the
+        one unavoidable copy).  :meth:`detach`/:meth:`destroy` release
+        the views, after which using the graph raises ``ValueError`` --
+        use-after-unmap fails loudly instead of reading freed memory.
+        """
+        buf = self._shm.buf
+        magic, ready, item, n, half, labels_len = _HEADER.unpack_from(buf, 0)
+        if magic != _MAGIC:
+            raise ValueError(f"segment {self.name!r} is not an ESD CSR")
+        if ready != 1:
+            raise ValueError(f"segment {self.name!r} is not ready")
+        if item != _ITEM:
+            raise ValueError(
+                f"segment {self.name!r} written with item size {item}, "
+                f"this interpreter uses {_ITEM}"
+            )
+        pos = _HEADER.size
+        views = []
+        parts = []
+        for count in ((n + 1), n, half):
+            nbytes = count * _ITEM
+            view = buf[pos : pos + nbytes].cast("l")
+            views.append(view)
+            parts.append(view)
+            pos += nbytes
+        labels = pickle.loads(bytes(buf[pos : pos + labels_len]))
+        self._views.extend(views)
+        offsets, dag_start, neighbors = parts
+        return CSRGraph(offsets, neighbors, dag_start, VertexInterner(labels))
+
+    # -- teardown ------------------------------------------------------------
+
+    def _release_views(self) -> None:
+        for view in self._views:
+            try:
+                view.release()
+            except Exception:
+                pass
+        self._views.clear()
+
+    def detach(self) -> None:
+        """Unmap without unlinking (the segment survives for others)."""
+        if _LIVE.pop(id(self), None) is None:
+            return
+        self._release_views()
+        try:
+            self._shm.close()
+        except BufferError:
+            # A caller still holds a view we did not mint; the mapping
+            # dies with the process, and the name is already forgotten.
+            pass
+        SHM_COUNTERS.segments_detached += 1
+
+    def destroy(self) -> None:
+        """Unmap *and* remove the name (creator-side teardown)."""
+        known = _LIVE.pop(id(self), None) is not None
+        self._release_views()
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+        try:
+            _unlink_quiet(self._shm)
+        except FileNotFoundError:
+            pass
+        else:
+            SHM_COUNTERS.segments_unlinked += 1
+        if known:
+            SHM_COUNTERS.segments_detached += 1
+
+    def __enter__(self) -> "SharedCSRSegment":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.creator and self.creator_pid == os.getpid():
+            self.destroy()
+        else:
+            self.detach()
+
+    def __repr__(self) -> str:
+        role = "creator" if self.creator else "attached"
+        return f"SharedCSRSegment({self.name!r}, {role}, {self.size}B)"
+
+
+def create_or_attach(
+    name: str, build: Callable[[], CSRGraph], timeout: float = 10.0
+) -> Tuple[SharedCSRSegment, bool]:
+    """Attach ``name`` if it exists, else create it from ``build()``.
+
+    Returns ``(segment, created)``.  Safe against the two races replicas
+    hit installing the same snapshot version: losing the existence check
+    (``FileExistsError`` on create -> attach instead) and attaching
+    before the winner finished writing (ready-flag wait in attach).
+    """
+    try:
+        return SharedCSRSegment.attach(name, timeout=timeout), False
+    except FileNotFoundError:
+        pass
+    try:
+        return SharedCSRSegment.create(build(), name=name), True
+    except FileExistsError:
+        return SharedCSRSegment.attach(name, timeout=timeout), False
+
+
+def sweep_stale_segments(prefix: str = NAME_PREFIX) -> List[str]:
+    """Unlink segments whose embedded creator PID is no longer alive.
+
+    Covers the one gap the ``atexit`` hook cannot: a creator killed with
+    ``kill -9`` never runs cleanup, leaving ``/dev/shm`` entries behind.
+    Segments of live processes (including this one) are left alone.
+    Returns the names removed.
+    """
+    if shared_memory is None or not os.path.isdir("/dev/shm"):
+        return []
+    removed: List[str] = []
+    for entry in os.listdir("/dev/shm"):
+        if not entry.startswith(prefix):
+            continue
+        parts = entry[len(prefix) :].split("-")
+        try:
+            pid = int(parts[0])
+        except (ValueError, IndexError):
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            with _tracking_disabled():
+                shm = shared_memory.SharedMemory(name=entry)
+        except FileNotFoundError:
+            continue
+        shm.close()
+        try:
+            _unlink_quiet(shm)
+        except FileNotFoundError:
+            continue
+        removed.append(entry)
+        SHM_COUNTERS.stale_swept += 1
+    return removed
+
+
+def unlink_namespace(namespace: str) -> List[str]:
+    """Unlink every segment whose name starts with ``namespace``.
+
+    The supervisor's shutdown hammer: after reaping its children it
+    removes the whole snapshot namespace it handed them, alive PIDs or
+    not, so a cluster teardown leaves ``/dev/shm`` exactly as it found
+    it even when a child skipped its own atexit cleanup.
+    """
+    if shared_memory is None or not os.path.isdir("/dev/shm"):
+        return []
+    removed: List[str] = []
+    for entry in os.listdir("/dev/shm"):
+        if not entry.startswith(namespace):
+            continue
+        try:
+            with _tracking_disabled():
+                shm = shared_memory.SharedMemory(name=entry)
+        except FileNotFoundError:
+            continue
+        shm.close()
+        try:
+            _unlink_quiet(shm)
+        except FileNotFoundError:
+            continue
+        removed.append(entry)
+        SHM_COUNTERS.segments_unlinked += 1
+    return removed
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def _cleanup_at_exit() -> None:
+    """Destroy what this process created; detach what it borrowed.
+
+    The PID guard matters for forked pool workers: they inherit the
+    parent's handles (flagged ``creator=True``) but must never unlink a
+    segment the parent is still serving from.
+    """
+    pid = os.getpid()
+    for segment in list(_LIVE.values()):
+        try:
+            if segment.creator and segment.creator_pid == pid:
+                segment.destroy()
+            else:
+                segment.detach()
+        except Exception:
+            pass
+
+
+atexit.register(_cleanup_at_exit)

@@ -75,6 +75,24 @@ def write_snapshot(path, state: Dict[str, Any], *, fsync: bool = True) -> int:
     return len(data)
 
 
+def csr_from_state(state: Dict[str, Any]):
+    """CSR snapshot of a decoded state, without materializing a ``Graph``.
+
+    The restore fast path for nodes that need an id-space view of the
+    snapshot -- a replica publishing the shared CSR segment, or a
+    restored index seeding its maintenance kernel: the state dict's
+    ``vertices``/``edges`` sections feed
+    :meth:`~repro.kernels.csr.CSRGraph.from_edgelist` directly.  The
+    result is identical to ``CSRGraph.from_graph`` on the restored
+    graph.
+    """
+    from repro.kernels.csr import CSRGraph
+
+    return CSRGraph.from_edgelist(
+        state["vertices"], (tuple(edge) for edge in state["edges"])
+    )
+
+
 def read_snapshot(path) -> Dict[str, Any]:
     """Read + validate a snapshot file; return the state dict."""
     with open(path, "rb") as handle:

@@ -43,6 +43,7 @@ from repro.core.maintenance import DynamicESDIndex
 from repro.core.monitor import TopKChange, TopKMonitor
 from repro.graph.graph import Graph, canonical_edge
 from repro.kernels.counters import KERNEL_COUNTERS
+from repro.kernels.shm import shm_metrics
 from repro.obs.registry import UnifiedRegistry
 from repro.obs.sampler import InvariantSampler
 from repro.obs.slowlog import SlowQueryLog
@@ -187,6 +188,7 @@ class QueryEngine:
         registry.add_source("graph_version", lambda: self._dyn.graph_version)
         registry.add_source("core", self._core_counters)
         registry.add_source("kernels", KERNEL_COUNTERS.snapshot)
+        registry.add_source("shm", shm_metrics)
         registry.add_source("slow_queries", self.slow_log.snapshot)
         registry.add_source(
             "invariant_sampler",

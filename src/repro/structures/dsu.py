@@ -240,6 +240,29 @@ class EdgeComponentSets:
             if a in component and b in component:
                 self._dsu.union(a, b)
 
+    def replace_partition(self, groups: Iterable[List[Hashable]]) -> None:
+        """Install an explicit partition, replacing all current state.
+
+        Unlike :meth:`replace_members` the components are given directly
+        (no edge scan): the kernel maintenance path derives the partition
+        from a bitset flood fill and installs it here.  Mutates the
+        structure in place so holders of this object (via
+        ``DynamicESDIndex.components_of``) keep seeing live state.
+        """
+        parent: Dict[Hashable, Hashable] = {}
+        size: Dict[Hashable, int] = {}
+        count = 0
+        for group in groups:
+            root = group[0]
+            for w in group:
+                parent[w] = root
+            size[root] = len(group)
+            count += 1
+        dsu = self._dsu
+        dsu._parent = parent
+        dsu._size = size
+        dsu._count = count
+
     def copy(self) -> "EdgeComponentSets":
         """Independent deep copy of the structure."""
         clone = EdgeComponentSets()

@@ -76,6 +76,17 @@ class TestCompare:
         )
         assert result["regressions"] == []
 
+    def test_ungated_op_reported_noisy_not_failed(self, monkeypatch):
+        monkeypatch.setattr(regress, "UNGATED_OPS", ("build_index_fast",))
+        result = compare(
+            payload_with(1.0, 0.01),
+            payload_with(2.0, 0.01),
+            tolerance=0.25,
+            metric="speedup",
+        )
+        assert result["regressions"] == []
+        assert result["entries"][0]["status"] == "noisy"
+
     def test_new_op_reported_not_failed(self):
         current = payload_with(2.0, 0.01)
         current["suites"]["quick"]["ops"]["novel_op"] = {
@@ -203,15 +214,40 @@ class TestRunAndPersist:
         assert payload["comparison"]["regressions"] == []
 
 
+class TestCheckFloors:
+    def test_floor_violation_reported(self, monkeypatch):
+        monkeypatch.setattr(
+            regress, "SPEEDUP_FLOORS", {"build_index_fast": 1.5}
+        )
+        assert regress.check_floors(payload_with(1.2, 0.01)) == [
+            "quick/build_index_fast"
+        ]
+
+    def test_floor_held_passes(self, monkeypatch):
+        monkeypatch.setattr(
+            regress, "SPEEDUP_FLOORS", {"build_index_fast": 1.5}
+        )
+        assert regress.check_floors(payload_with(1.6, 0.01)) == []
+
+    def test_missing_op_ignored(self, monkeypatch):
+        monkeypatch.setattr(regress, "SPEEDUP_FLOORS", {"novel_op": 9.0})
+        assert regress.check_floors(payload_with(1.0, 0.01)) == []
+
+
 class TestCommittedBenchFile:
-    def test_bench_pr5_record_is_valid(self):
-        path = regress.REPO_ROOT / "BENCH_PR5.json"
+    def test_bench_pr7_record_is_valid(self):
+        path = regress.REPO_ROOT / "BENCH_PR7.json"
         payload = json.loads(path.read_text())
-        assert payload["bench"] == "PR5"
+        assert payload["bench"] == "PR7"
         assert payload["schema"] == 1
+        assert payload["floor_failures"] == []
         for name in ("full", "quick"):
             ops = payload["suites"][name]["ops"]
             assert set(ops) == set(regress.OPS)
             for op in regress.SPEEDUP_OPS:
-                # The PR's acceptance gate: >= 2x on the pinned suites.
+                # Carried over from the PR5 acceptance gate: >= 2x.
                 assert ops[op]["speedup"] >= 2.0
+            for op, floor in regress.SPEEDUP_FLOORS.items():
+                # PR7's acceptance gate: batched kernel maintenance
+                # holds >= 1.5x over the set path on the dense suite.
+                assert ops[op]["speedup"] >= floor

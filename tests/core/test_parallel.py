@@ -207,3 +207,59 @@ class TestCostBalancedChunks:
         with use_kernels("set"):
             b = _cost_balanced_chunks(g, 3)
         assert a == b
+
+
+class TestSharedMemoryShipping:
+    """Workers must map the shared CSR segment, not unpickle the arrays."""
+
+    def test_pool_ships_segment_name_not_arrays(self):
+        from repro.core import parallel as par
+        from repro.kernels import shm
+        from repro.kernels.dispatch import use_kernels
+
+        if not shm.shm_available():
+            pytest.skip("no shared-memory support")
+        # Large enough that m >= 4 * threads engages the pool route.
+        g = erdos_renyi(120, 0.12, seed=8)
+        with use_kernels("csr"):
+            sizes = parallel_component_sizes(g, threads=2)
+        info = dict(par.LAST_SHIP_INFO)
+        assert info["mode"] == "shm"
+        # The initargs carry a segment *name* (a short string), not the
+        # pickled CSR arrays: a few hundred bytes versus tens of KB.
+        assert info["initargs_bytes"] < 200, info
+        assert info["segment_bytes"] > 10_000, info
+        # And the answers are the sequential ones.
+        for (u, v), s in sizes.items():
+            assert sorted(s) == sorted(ego_component_sizes(g, u, v))
+
+    def test_segment_destroyed_after_pool_run(self):
+        import os
+
+        from repro.core import parallel as par
+        from repro.kernels import shm
+        from repro.kernels.dispatch import use_kernels
+
+        if not shm.shm_available():
+            pytest.skip("no shared-memory support")
+        g = erdos_renyi(120, 0.12, seed=8)
+        with use_kernels("csr"):
+            parallel_component_sizes(g, threads=2)
+        assert par.LAST_SHIP_INFO["mode"] == "shm"
+        prefix = f"esd-{os.getpid()}-"
+        leftovers = [
+            e for e in os.listdir("/dev/shm") if e.startswith(prefix)
+        ] if os.path.isdir("/dev/shm") else []
+        assert leftovers == [], leftovers
+
+    def test_set_mode_never_ships_a_segment(self):
+        from repro.core import parallel as par
+        from repro.kernels.dispatch import use_kernels
+
+        g = erdos_renyi(120, 0.12, seed=8)
+        par.LAST_SHIP_INFO.clear()
+        with use_kernels("set"):
+            parallel_component_sizes(g, threads=2)
+        # The set route never enters the kernel pool, so the ship-info
+        # record stays untouched.
+        assert par.LAST_SHIP_INFO == {}

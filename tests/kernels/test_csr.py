@@ -191,3 +191,122 @@ class TestDispatch:
 
     def test_modes_constant(self):
         assert set(KERNEL_MODES) == {"csr", "set"}
+
+
+class TestSnapshotPatchPath:
+    """Small revision deltas patch the cached CSR; large ones rebuild."""
+
+    def _counters(self):
+        from repro.kernels.counters import KERNEL_COUNTERS
+
+        return KERNEL_COUNTERS
+
+    def test_small_delta_patches_instead_of_rebuilding(self):
+        g = erdos_renyi(40, 0.15, seed=6)
+        snapshot_csr(g)
+        counters = self._counters()
+        patches, builds = counters.csr_patches, counters.csr_builds
+        g.add_edge(0, 39) if not g.has_edge(0, 39) else g.remove_edge(0, 39)
+        g.add_vertex(999)
+        patched = snapshot_csr(g)
+        assert counters.csr_patches == patches + 1
+        assert counters.csr_builds == builds
+        fresh = CSRGraph.from_graph(g)
+        assert list(patched.offsets) == list(fresh.offsets)
+        assert list(patched.neighbors) == list(fresh.neighbors)
+        assert list(patched.dag_start) == list(fresh.dag_start)
+        assert patched.interner.labels == fresh.interner.labels
+
+    def test_patched_snapshot_is_cached(self):
+        g = erdos_renyi(30, 0.2, seed=2)
+        snapshot_csr(g)
+        g.add_edge(0, 29) if not g.has_edge(0, 29) else g.remove_edge(0, 29)
+        patched = snapshot_csr(g)
+        assert snapshot_csr(g) is patched
+
+    def test_delta_beyond_patch_limit_rebuilds(self):
+        from repro.kernels.csr import PATCH_OPS_LIMIT
+
+        g = erdos_renyi(30, 0.1, seed=3)
+        snapshot_csr(g)
+        counters = self._counters()
+        patches, builds = counters.csr_patches, counters.csr_builds
+        for i in range(PATCH_OPS_LIMIT + 1):
+            g.add_vertex(10_000 + i)
+        snapshot_csr(g)
+        assert counters.csr_patches == patches
+        assert counters.csr_builds == builds + 1
+
+    def test_rapid_mutation_past_changelog_limit_rebuilds(self):
+        """The graph's changelog is bounded; outrunning it forces a
+        rebuild rather than serving a wrong patch."""
+        from repro.graph.graph import CHANGELOG_LIMIT
+
+        g = erdos_renyi(30, 0.1, seed=5)
+        snapshot_csr(g)
+        counters = self._counters()
+        patches, builds = counters.csr_patches, counters.csr_builds
+        for i in range(CHANGELOG_LIMIT + 8):
+            g.add_vertex(20_000 + i)
+            g.add_edge(20_000 + i, i % 30)
+        assert g.changes_since(g.revision - 2 * (CHANGELOG_LIMIT + 8)) is None
+        rebuilt = snapshot_csr(g)
+        assert counters.csr_patches == patches
+        assert counters.csr_builds == builds + 1
+        fresh = CSRGraph.from_graph(g)
+        assert list(rebuilt.neighbors) == list(fresh.neighbors)
+
+    def test_interleaved_patch_chain_stays_exact(self):
+        """Many small patch steps never drift from a cold rebuild."""
+        import random as _random
+
+        g = erdos_renyi(25, 0.2, seed=9)
+        rng = _random.Random(13)
+        snapshot_csr(g)
+        for _ in range(30):
+            u, v = rng.sample(sorted(g.vertices()), 2)
+            if g.has_edge(u, v):
+                g.remove_edge(u, v)
+            else:
+                g.add_edge(u, v)
+            patched = snapshot_csr(g)
+            fresh = CSRGraph.from_graph(g)
+            assert list(patched.offsets) == list(fresh.offsets)
+            assert list(patched.neighbors) == list(fresh.neighbors)
+            assert patched.interner.labels == fresh.interner.labels
+
+
+class TestFromEdgelist:
+    """``from_edgelist`` (the snapshot-install path) ≡ ``from_graph``."""
+
+    def test_matches_from_graph(self):
+        g = erdos_renyi(35, 0.15, seed=8)
+        a = CSRGraph.from_graph(g)
+        b = CSRGraph.from_edgelist(sorted(g.vertices()), sorted(g.edges()))
+        assert list(a.offsets) == list(b.offsets)
+        assert list(a.neighbors) == list(b.neighbors)
+        assert list(a.dag_start) == list(b.dag_start)
+        assert a.interner.labels == b.interner.labels
+
+    def test_isolated_vertices_keep_slots(self):
+        g = Graph([(0, 1), (1, 2)])
+        g.add_vertex(7)
+        g.add_vertex(8)
+        a = CSRGraph.from_graph(g)
+        b = CSRGraph.from_edgelist(sorted(g.vertices()), sorted(g.edges()))
+        assert b.n == 5 and b.m == 2
+        assert list(a.offsets) == list(b.offsets)
+        assert a.interner.labels == b.interner.labels
+
+    def test_csr_from_state_round_trip(self):
+        from repro.core.maintenance import DynamicESDIndex
+        from repro.persistence.snapshot import csr_from_state
+
+        g = erdos_renyi(30, 0.2, seed=10)
+        g.add_vertex(500)  # exported state must carry the isolate too
+        state = DynamicESDIndex(g).export_state()
+        restored = csr_from_state(state)
+        direct = CSRGraph.from_graph(g)
+        assert list(restored.offsets) == list(direct.offsets)
+        assert list(restored.neighbors) == list(direct.neighbors)
+        assert restored.interner.labels == direct.interner.labels

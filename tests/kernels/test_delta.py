@@ -1,0 +1,254 @@
+"""Unit tests for the delta-CSR maintenance kernel.
+
+Every bit-level query (``common_mask``, ``ego_pairs``, ``flood_groups``)
+is checked against a brute-force recomputation on the label graph, so
+the kernel's id-space arithmetic can never silently drift from the
+adjacency it claims to mirror.
+"""
+
+import random
+
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.kernels.csr import CSRGraph
+from repro.kernels.delta import MaintenanceKernel
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(30, 0.2, seed=5)
+
+
+@pytest.fixture
+def kernel(graph):
+    return MaintenanceKernel.from_graph(graph)
+
+
+def brute_adjacency(kernel):
+    """Rebuild id-space adjacency bitsets from the kernel's own rows."""
+    return {i: kernel.adj[i] for i in range(len(kernel.labels))}
+
+
+def masks_to_label_sets(kernel, masks):
+    return sorted(
+        tuple(sorted(kernel.labels_of_mask(mask))) for mask in masks
+    )
+
+
+class TestConstruction:
+    def test_from_graph_mirrors_adjacency(self, graph, kernel):
+        for u in graph.vertices():
+            iu = kernel.ids[u]
+            got = {kernel.labels[i] for i in kernel.iter_bits(kernel.adj[iu])}
+            assert got == set(graph.neighbors(u))
+
+    def test_from_csr_equivalent_to_from_graph(self, graph, kernel):
+        csr = CSRGraph.from_graph(graph)
+        csr.ensure_bits()
+        adopted = MaintenanceKernel.from_csr(csr, graph.revision)
+        # Id assignment differs (arrival order vs degree rank), so
+        # compare the label-level adjacency, not raw rows.
+        for u in graph.vertices():
+            a = {
+                kernel.labels[i]
+                for i in kernel.iter_bits(kernel.adj[kernel.ids[u]])
+            }
+            b = {
+                adopted.labels[i]
+                for i in adopted.iter_bits(adopted.adj[adopted.ids[u]])
+            }
+            assert a == b
+        assert adopted.revision == graph.revision
+
+    def test_intern_is_idempotent(self, kernel):
+        fresh = kernel.intern("zz")
+        assert kernel.intern("zz") == fresh
+        assert kernel.labels[fresh] == "zz"
+        assert kernel.adj[fresh] == 0
+
+    def test_prepare_bulk_interns(self, kernel):
+        before = len(kernel.labels)
+        kernel.prepare(["a1", "a2", "a3", "a1"])
+        assert len(kernel.labels) == before + 3
+        assert all(label in kernel.ids for label in ("a1", "a2", "a3"))
+
+
+class TestMutation:
+    def test_note_insert_flips_both_rows(self, graph, kernel):
+        rev = graph.revision + 1
+        iu, iv = kernel.note_insert(900, 901, rev)
+        assert kernel.adj[iu] >> iv & 1
+        assert kernel.adj[iv] >> iu & 1
+        assert kernel.revision == rev
+
+    def test_note_delete_clears_both_rows(self, graph, kernel):
+        u, v = next(iter(graph.edge_list()))
+        rev = graph.revision + 1
+        iu, iv = kernel.note_delete(u, v, rev)
+        assert not kernel.adj[iu] >> iv & 1
+        assert not kernel.adj[iv] >> iu & 1
+        assert kernel.revision == rev
+
+    def test_note_delete_unknown_label_raises(self, kernel):
+        with pytest.raises(KeyError):
+            kernel.note_delete("nope-a", "nope-b", 99)
+
+    def test_note_remove_vertex_scrubs_every_row(self, graph, kernel):
+        victim = max(graph.vertices(), key=lambda u: len(graph.neighbors(u)))
+        iv = kernel.ids[victim]
+        kernel.note_remove_vertex(victim, graph.revision + 1)
+        assert victim not in kernel.ids
+        assert kernel.adj[iv] == 0
+        assert all(not adj >> iv & 1 for adj in kernel.adj)
+
+    def test_dead_slots_trigger_bloat_after_threshold(self, kernel):
+        assert not kernel.bloated()
+        rev = kernel.revision
+        # Grow then kill enough vertices that dead slots dominate.
+        doomed = [f"tmp{i}" for i in range(80)]
+        for label in doomed:
+            rev += 1
+            kernel.note_add_vertex(label, rev)
+        assert not kernel.bloated()
+        for label in doomed:
+            rev += 1
+            kernel.note_remove_vertex(label, rev)
+        assert kernel.bloated()
+
+
+class TestQueries:
+    def test_common_mask_matches_set_intersection(self, graph, kernel):
+        for u, v in list(graph.edge_list())[:40]:
+            common = kernel.common_mask(kernel.ids[u], kernel.ids[v])
+            got = {kernel.labels[i] for i in kernel.common_ids(common)}
+            assert got == graph.neighbors(u) & graph.neighbors(v)
+
+    def test_common_ids_sorted_ascending(self, graph, kernel):
+        u, v = max(
+            graph.edge_list(),
+            key=lambda e: len(graph.neighbors(e[0]) & graph.neighbors(e[1])),
+        )
+        ids = kernel.common_ids(kernel.common_mask(kernel.ids[u], kernel.ids[v]))
+        assert ids == sorted(ids)
+
+    def test_ego_pairs_matches_brute_force(self, graph, kernel):
+        checked = 0
+        for u, v in graph.edge_list():
+            common_labels = graph.neighbors(u) & graph.neighbors(v)
+            if len(common_labels) < 2:
+                continue
+            mask = kernel.common_mask(kernel.ids[u], kernel.ids[v])
+            got = {
+                frozenset((kernel.labels[a], kernel.labels[b]))
+                for a, b in kernel.ego_pairs(mask)
+            }
+            want = {
+                frozenset((a, b))
+                for a in common_labels
+                for b in common_labels
+                if a < b and b in graph.neighbors(a)
+            }
+            assert got == want
+            checked += 1
+        assert checked > 0, "fixture graph produced no ego with >= 2 members"
+
+    def test_ego_pairs_yields_each_pair_once(self, kernel):
+        triangle_mask = 0
+        for label in ("t1", "t2", "t3"):
+            kernel.note_add_vertex(label, kernel.revision + 1)
+        for a, b in (("t1", "t2"), ("t2", "t3"), ("t1", "t3")):
+            kernel.note_insert(a, b, kernel.revision + 1)
+        for label in ("t1", "t2", "t3"):
+            triangle_mask |= 1 << kernel.ids[label]
+        pairs = kernel.ego_pairs(triangle_mask)
+        assert len(pairs) == 3
+        assert len({frozenset(p) for p in pairs}) == 3
+
+    def test_flood_groups_matches_component_brute_force(self, graph, kernel):
+        rng = random.Random(3)
+        for u, v in graph.edge_list():
+            common_labels = graph.neighbors(u) & graph.neighbors(v)
+            if not common_labels:
+                continue
+            mask = kernel.common_mask(kernel.ids[u], kernel.ids[v])
+            groups = kernel.flood_groups(mask)
+            # Union of the groups is the whole ego, and groups are disjoint.
+            union = 0
+            for g in groups:
+                assert union & g == 0
+                union |= g
+            assert union == mask
+            got = masks_to_label_sets(kernel, groups)
+            want = sorted(
+                tuple(sorted(comp))
+                for comp in _components_within(graph, common_labels)
+            )
+            assert got == want
+        # Degenerate inputs.
+        assert kernel.flood_groups(0) == []
+        lone = 1 << kernel.ids[rng.choice(sorted(graph.vertices()))]
+        assert kernel.flood_groups(lone) == [lone]
+
+    def test_labels_of_mask_roundtrip(self, graph, kernel):
+        some = sorted(graph.vertices())[:7]
+        mask = 0
+        for label in some:
+            mask |= 1 << kernel.ids[label]
+        assert sorted(kernel.labels_of_mask(mask)) == sorted(some)
+
+
+def _components_within(graph, members):
+    """Connected components of the subgraph induced by ``members``."""
+    members = set(members)
+    seen = set()
+    comps = []
+    for start in members:
+        if start in seen:
+            continue
+        comp = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in graph.neighbors(node) & members:
+                if nxt not in comp:
+                    comp.add(nxt)
+                    frontier.append(nxt)
+        seen |= comp
+        comps.append(comp)
+    return comps
+
+
+class TestMutateThenQuery:
+    def test_queries_track_random_mutations(self):
+        """Interleave mutations with brute-force-checked queries."""
+        graph = erdos_renyi(20, 0.25, seed=9)
+        kernel = MaintenanceKernel.from_graph(graph)
+        rng = random.Random(41)
+        rev = graph.revision
+        for step in range(120):
+            rev += 1
+            roll = rng.random()
+            vertices = sorted(graph.vertices())
+            if roll < 0.45 and graph.m > 5:
+                u, v = rng.choice(sorted(graph.edge_list()))
+                graph.remove_edge(u, v)
+                kernel.note_delete(u, v, rev)
+            elif roll < 0.9:
+                u, v = rng.sample(vertices, 2)
+                if graph.has_edge(u, v):
+                    continue
+                graph.add_edge(u, v)
+                kernel.note_insert(u, v, rev)
+            else:
+                label = 1000 + step
+                graph.add_vertex(label)
+                kernel.note_add_vertex(label, rev)
+            rev = graph.revision
+        for u in graph.vertices():
+            got = {
+                kernel.labels[i]
+                for i in kernel.iter_bits(kernel.adj[kernel.ids[u]])
+            }
+            assert got == set(graph.neighbors(u)), u

@@ -1,0 +1,192 @@
+"""Differential test: kernel-backed maintenance ≡ set-based maintenance.
+
+Reuses the persistence harness's case generator and delta-debugging
+shrinker (``tests/persistence/harness.py``) with a custom check oracle:
+the same interleaved insert/delete/vertex-op trace is applied to two
+:class:`DynamicESDIndex` instances -- one forced onto the CSR kernel
+route, one onto the dict-of-set route -- and every observable must stay
+bit-identical after *every* op: per-update statistics, top-k answers at
+several ``(k, τ)``, the exported state image, and the invariant checker.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import pytest
+
+from repro.core.maintenance import DynamicESDIndex
+from repro.graph.generators import gnm_random
+from repro.graph.graph import canonical_edge
+from repro.kernels.dispatch import use_kernels
+
+from tests.persistence.harness import QUERY_PAIRS, Case, Op, shrink_case
+
+NUM_TRIALS = 20
+
+
+def generate_trace(seed: int, *, max_n: int = 24, max_ops: int = 40) -> Case:
+    """A random op stream that also mixes in whole-vertex surgery.
+
+    Op kinds reuse the harness's 3-tuple shape so ``shrink_case`` can
+    slice the stream freely: ``("insert"|"delete", u, v)`` plus
+    ``("vertex_delete", u, 0)`` and ``("vertex_insert", u, degree)``.
+    """
+    rng = random.Random(seed)
+    n = rng.randint(6, max_n)
+    m = rng.randint(0, min(n * (n - 1) // 2, 4 * n))
+    ops: List[Op] = []
+    for step in range(rng.randint(4, max_ops)):
+        roll = rng.random()
+        if roll < 0.40:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                ops.append(("insert",) + canonical_edge(u, v))
+        elif roll < 0.75:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                ops.append(("delete",) + canonical_edge(u, v))
+        elif roll < 0.88:
+            ops.append(("vertex_delete", rng.randrange(n), 0))
+        else:
+            # A fresh label with a random attachment degree.
+            ops.append(("vertex_insert", n + step, rng.randint(0, 4)))
+    return Case(seed=seed, n=n, m=m, ops=ops)
+
+
+def _apply(dyn: DynamicESDIndex, op: Op, rng: random.Random):
+    """Apply one op; return ``("ok", observation)`` or ``("err", repr)``.
+
+    Inapplicable ops (duplicate insert, absent delete, missing vertex)
+    surface as errors -- the property is that *both* modes classify and
+    observe the op identically, so errors are compared, not hidden.
+    """
+    kind, a, b = op
+    try:
+        if kind == "insert":
+            s = dyn.insert_edge(a, b)
+            return "ok", (s.common_neighbors, s.ego_edges, s.edges_rescored)
+        if kind == "delete":
+            s = dyn.delete_edge(a, b)
+            return "ok", (s.common_neighbors, s.ego_edges, s.edges_rescored)
+        if kind == "vertex_delete":
+            stats = dyn.delete_vertex(a)
+            return "ok", [
+                (s.common_neighbors, s.ego_edges, s.edges_rescored)
+                for s in stats
+            ]
+        if kind == "vertex_insert":
+            targets = rng.sample(
+                sorted(dyn.graph.vertices()), min(b, dyn.graph.n)
+            )
+            stats = dyn.insert_vertex(a, targets)
+            return "ok", [
+                (s.common_neighbors, s.ego_edges, s.edges_rescored)
+                for s in stats
+            ]
+        raise AssertionError(f"unknown op kind {kind!r}")
+    except (ValueError, KeyError) as exc:
+        return "err", f"{type(exc).__name__}: {exc}"
+
+
+def check_trace(case: Case, _tmp_dir=None) -> Optional[str]:
+    """The oracle: replay ``case`` in both modes, diff every observable."""
+    base = gnm_random(case.n, case.m, seed=case.seed)
+    with use_kernels("csr"):
+        dyn_csr = DynamicESDIndex(gnm_random(case.n, case.m, seed=case.seed))
+    with use_kernels("set"):
+        dyn_set = DynamicESDIndex(base)
+    # Two independent-but-identical RNGs: vertex_insert draws its
+    # attachment targets from the current vertex set, which must match.
+    rng_csr = random.Random(case.seed ^ 0xC5)
+    rng_set = random.Random(case.seed ^ 0xC5)
+    for step, op in enumerate(case.ops):
+        with use_kernels("csr"):
+            got_csr = _apply(dyn_csr, op, rng_csr)
+        with use_kernels("set"):
+            got_set = _apply(dyn_set, op, rng_set)
+        if got_csr != got_set:
+            return (
+                f"op {step} {op!r} diverged: csr={got_csr!r} "
+                f"set={got_set!r}"
+            )
+        for k, tau in QUERY_PAIRS:
+            a, b = dyn_csr.topk(k, tau), dyn_set.topk(k, tau)
+            if a != b:
+                return (
+                    f"topk(k={k}, tau={tau}) diverged after op {step} "
+                    f"{op!r}: csr={a!r} set={b!r}"
+                )
+    if dyn_csr.export_state() != dyn_set.export_state():
+        return "final export_state diverged"
+    try:
+        dyn_csr.check_invariants()
+    except AssertionError as exc:
+        return f"kernel-maintained index failed invariants: {exc}"
+    try:
+        dyn_set.check_invariants()
+    except AssertionError as exc:
+        return f"set-maintained index failed invariants: {exc}"
+    return None
+
+
+def test_kernel_maintenance_equivalent_on_interleaved_traces():
+    failures = []
+    for seed in range(NUM_TRIALS):
+        case = generate_trace(seed)
+        failure = check_trace(case)
+        if failure is None:
+            continue
+        shrunk = shrink_case(case, lambda: None, check=check_trace)
+        failures.append(
+            f"{failure}\n  reproduce: {shrunk.describe()}\n"
+            f"  (shrunk from {len(case.ops)} to {len(shrunk.ops)} ops)"
+        )
+    assert not failures, "\n".join(failures)
+
+
+def test_batch_maintenance_equivalent():
+    """``apply_batch`` (deletions then insertions) agrees across modes."""
+    for seed in (3, 11):
+        base_edges = list(gnm_random(18, 40, seed=seed).edges())
+        rng = random.Random(seed)
+        deletions = rng.sample(base_edges, 8)
+        insertions = [
+            canonical_edge(u, v)
+            for u, v in ((rng.randrange(18), 18 + i) for i in range(6))
+        ]
+        states = {}
+        for mode in ("csr", "set"):
+            with use_kernels(mode):
+                dyn = DynamicESDIndex(gnm_random(18, 40, seed=seed))
+                s = dyn.apply_batch(insertions=insertions, deletions=deletions)
+                dyn.check_invariants()
+                states[mode] = (
+                    (s.common_neighbors, s.ego_edges, s.edges_rescored),
+                    dyn.export_state(),
+                )
+        assert states["csr"] == states["set"]
+
+
+def test_batch_self_loop_rejected_before_any_mutation():
+    for mode in ("csr", "set"):
+        with use_kernels(mode):
+            dyn = DynamicESDIndex(gnm_random(10, 15, seed=2))
+            before = dyn.export_state()
+            with pytest.raises(ValueError):
+                dyn.apply_batch(insertions=[(50, 51), (7, 7)])
+            assert dyn.export_state() == before
+
+
+def test_shrinker_reuses_harness_with_custom_oracle():
+    """A planted divergence shrinks to a tiny trace via ``shrink_case``."""
+    case = generate_trace(1)
+    poison = ("insert", 990, 991)
+    case.ops = case.ops[:12] + [poison] + case.ops[12:]
+
+    def oracle(candidate: Case, _dir) -> Optional[str]:
+        return "planted" if poison in candidate.ops else None
+
+    shrunk = shrink_case(case, lambda: None, check=oracle)
+    assert shrunk.ops == [poison]

@@ -1,0 +1,281 @@
+"""Shared-memory CSR segments: layout, lifecycle, races, leak recovery.
+
+Every test asserts ``/dev/shm`` hygiene on the way out: the module's
+whole reason to exist is that segments never outlive their owners, so a
+test that leaks one is itself a failure.
+"""
+
+import os
+import signal
+import struct
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.kernels import shm
+from repro.kernels.csr import CSRGraph
+from repro.kernels.shm import (
+    SHM_COUNTERS,
+    SharedCSRSegment,
+    create_or_attach,
+    live_segments,
+    shm_metrics,
+    sweep_stale_segments,
+    unlink_namespace,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="no shared-memory support"
+)
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+def _own_entries():
+    prefix = f"esd-{os.getpid()}-"
+    if not os.path.isdir("/dev/shm"):
+        return []
+    return [e for e in os.listdir("/dev/shm") if e.startswith(prefix)]
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    SHM_COUNTERS.reset()
+    yield
+    for segment in live_segments():
+        segment.destroy()
+    assert _own_entries() == [], "test leaked a /dev/shm segment"
+
+
+@pytest.fixture
+def csr():
+    return CSRGraph.from_graph(erdos_renyi(40, 0.2, seed=11))
+
+
+class TestRoundTrip:
+    def test_attached_csr_identical(self, csr):
+        segment = SharedCSRSegment.create(csr)
+        attached = SharedCSRSegment.attach(segment.name)
+        got = attached.csr()
+        assert list(got.offsets) == list(csr.offsets)
+        assert list(got.neighbors) == list(csr.neighbors)
+        assert list(got.dag_start) == list(csr.dag_start)
+        assert got.interner.labels == csr.interner.labels
+        assert (got.n, got.m) == (csr.n, csr.m)
+        attached.detach()
+        segment.destroy()
+
+    def test_array_fields_are_views_into_the_mapping(self, csr):
+        segment = SharedCSRSegment.create(csr)
+        got = segment.csr()
+        assert isinstance(got.offsets, memoryview)
+        assert isinstance(got.neighbors, memoryview)
+        segment.destroy()
+
+    def test_use_after_destroy_fails_loudly(self, csr):
+        segment = SharedCSRSegment.create(csr)
+        got = segment.csr()
+        segment.destroy()
+        with pytest.raises(ValueError):
+            got.offsets[0]
+
+    def test_edgeless_graph_round_trips(self):
+        empty = CSRGraph.from_edgelist([1, 2, 3], [])
+        with SharedCSRSegment.create(empty) as segment:
+            got = segment.csr()
+            assert (got.n, got.m) == (3, 0)
+            assert got.interner.labels == empty.interner.labels
+
+    def test_bitset_layer_builds_from_views(self, csr):
+        csr.ensure_bits()
+        with SharedCSRSegment.create(csr) as segment:
+            got = segment.csr()
+            assert got.adj_bits == csr.adj_bits
+
+
+class TestLifecycle:
+    def test_metrics_track_live_mappings(self, csr):
+        base = shm_metrics()
+        assert base["live_segments"] == 0
+        segment = SharedCSRSegment.create(csr)
+        attached = SharedCSRSegment.attach(segment.name)
+        mid = shm_metrics()
+        assert mid["live_segments"] == 2
+        assert mid["mapped_bytes"] == segment.size + attached.size
+        assert mid["segments_created"] == 1
+        assert mid["segments_attached"] == 1
+        attached.detach()
+        segment.destroy()
+        done = shm_metrics()
+        assert done["live_segments"] == 0
+        assert done["segments_detached"] == 2
+        assert done["segments_unlinked"] == 1
+
+    def test_detach_leaves_segment_for_others(self, csr):
+        segment = SharedCSRSegment.create(csr)
+        attached = SharedCSRSegment.attach(segment.name)
+        attached.detach()
+        again = SharedCSRSegment.attach(segment.name)
+        again.detach()
+        segment.destroy()
+
+    def test_destroy_idempotent(self, csr):
+        segment = SharedCSRSegment.create(csr)
+        segment.destroy()
+        segment.destroy()  # second unlink finds nothing; no raise
+        assert SHM_COUNTERS.segments_unlinked == 1
+
+    def test_context_manager_creator_destroys(self, csr):
+        with SharedCSRSegment.create(csr) as segment:
+            name = segment.name
+        with pytest.raises(FileNotFoundError):
+            SharedCSRSegment.attach(name)
+
+    def test_context_manager_attacher_detaches(self, csr):
+        segment = SharedCSRSegment.create(csr)
+        with SharedCSRSegment.attach(segment.name):
+            pass
+        # The attacher's exit must not have unlinked the name.
+        SharedCSRSegment.attach(segment.name).detach()
+        segment.destroy()
+
+
+class TestRaces:
+    def test_attach_missing_name_raises(self):
+        with pytest.raises(FileNotFoundError):
+            SharedCSRSegment.attach(f"esd-{os.getpid()}-missing-0")
+
+    def test_attach_times_out_on_never_ready(self, csr):
+        segment = SharedCSRSegment.create(csr)
+        # Unpublish: flip the ready word back, as if the creator stalled
+        # mid-fill after winning the name race.
+        struct.pack_into("<Q", segment._shm.buf, 8, 0)
+        with pytest.raises(TimeoutError):
+            SharedCSRSegment.attach(segment.name, timeout=0.05)
+        assert SHM_COUNTERS.attach_timeouts == 1
+        struct.pack_into("<Q", segment._shm.buf, 8, 1)
+        segment.destroy()
+
+    def test_create_or_attach_single_process(self, csr):
+        name = f"esd-{os.getpid()}-race-77"
+        first, created = create_or_attach(name, lambda: csr)
+        second, second_created = create_or_attach(
+            name, lambda: pytest.fail("winner already published")
+        )
+        assert created is True and second_created is False
+        assert list(second.csr().neighbors) == list(csr.neighbors)
+        second.detach()
+        first.destroy()
+
+    def test_create_rejects_taken_name(self, csr):
+        segment = SharedCSRSegment.create(csr)
+        with pytest.raises(FileExistsError):
+            SharedCSRSegment.create(csr, name=segment.name)
+        segment.destroy()
+
+
+class TestStaleSweep:
+    def test_sweep_reaps_killed_creator(self, csr):
+        """A kill -9'd creator leaves a segment; the sweep reclaims it."""
+        code = textwrap.dedent(
+            """
+            import os, sys, time
+            sys.path.insert(0, %r)
+            from repro.graph.generators import erdos_renyi
+            from repro.kernels.csr import CSRGraph
+            from repro.kernels.shm import SharedCSRSegment
+
+            seg = SharedCSRSegment.create(
+                CSRGraph.from_graph(erdos_renyi(10, 0.3, seed=1))
+            )
+            print(seg.name, flush=True)
+            time.sleep(60)
+            """
+            % SRC
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            name = proc.stdout.readline().strip()
+            assert name and os.path.exists(f"/dev/shm/{name}")
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+            removed = sweep_stale_segments()
+            assert name in removed
+            assert not os.path.exists(f"/dev/shm/{name}")
+            assert SHM_COUNTERS.stale_swept >= 1
+        finally:
+            proc.stdout.close()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_sweep_spares_live_processes(self, csr):
+        segment = SharedCSRSegment.create(csr)
+        assert sweep_stale_segments() == []
+        assert os.path.exists(f"/dev/shm/{segment.name}")
+        segment.destroy()
+
+    def test_atexit_cleanup_on_clean_exit(self):
+        """A clean interpreter exit removes created segments by itself."""
+        code = textwrap.dedent(
+            """
+            import sys
+            sys.path.insert(0, %r)
+            from repro.graph.generators import erdos_renyi
+            from repro.kernels.csr import CSRGraph
+            from repro.kernels.shm import SharedCSRSegment
+
+            seg = SharedCSRSegment.create(
+                CSRGraph.from_graph(erdos_renyi(10, 0.3, seed=1))
+            )
+            print(seg.name, flush=True)
+            """
+            % SRC
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        assert result.returncode == 0, result.stderr
+        name = result.stdout.strip()
+        assert not os.path.exists(f"/dev/shm/{name}")
+        # No resource_tracker noise either -- our hooks are the single
+        # cleanup authority (stderr stays empty on the happy path).
+        assert "resource_tracker" not in result.stderr
+
+    def test_unlink_namespace_removes_everything_under_prefix(self, csr):
+        ns = f"esd-{os.getpid()}-nstest"
+        a = SharedCSRSegment.create(csr, name=f"{ns}-v1")
+        b = SharedCSRSegment.create(csr, name=f"{ns}-v2")
+        removed = unlink_namespace(ns)
+        assert sorted(removed) == [f"{ns}-v1", f"{ns}-v2"]
+        a.detach()
+        b.detach()
+        assert _own_entries() == []
+
+
+class TestPromtext:
+    def test_shm_gauges_render(self, csr):
+        from repro.obs.promtext import render_prometheus
+        from repro.obs.registry import UnifiedRegistry
+        from repro.service.metrics import MetricsRegistry
+
+        registry = UnifiedRegistry(MetricsRegistry())
+        registry.add_source("shm", shm_metrics)
+        with SharedCSRSegment.create(csr) as segment:
+            body = render_prometheus(registry.snapshot())
+            assert "esd_shm_live_segments 1" in body
+            assert f"esd_shm_mapped_bytes {segment.size}" in body
+            assert "esd_shm_segments_created 1" in body
