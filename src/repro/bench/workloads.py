@@ -46,6 +46,24 @@ SERVICE_WRITE_RATIO: float = 0.15
 #: paper grid so repeated queries exercise the result cache.
 SERVICE_QUERY_GRID: List[tuple] = [(10, 2), (10, 3), (50, 2), (100, 3)]
 
+#: Vertex-id base for synthetic load-test mutations.  Every stand-in
+#: dataset uses small integer ids, so edges minted up here never collide
+#: with dataset vertices -- an insert of a fresh pair is always valid.
+LOADGEN_EDGE_BASE: int = 900_000
+
+
+def mutation_edges(
+    count: int, base: int = LOADGEN_EDGE_BASE, stride: int = 2
+) -> List[tuple]:
+    """``count`` fresh synthetic edges disjoint from dataset id space.
+
+    Used by the service bench and by ``repro.loadgen`` scenarios: each
+    edge is a brand-new vertex pair, so inserts cannot conflict with
+    existing edges and deletes of previously minted edges cannot dangle.
+    Distinct ``base`` values give disjoint pools (one per sweep trial).
+    """
+    return [(base + stride * i, base + stride * i + 1) for i in range(count)]
+
 
 @lru_cache(maxsize=None)
 def dataset(name: str, scale: float = 1.0) -> Graph:

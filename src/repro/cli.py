@@ -19,6 +19,10 @@ Subcommands
 ``bench``        Run one of the paper's experiments and print its table;
                  ``bench regress`` runs the pinned perf-regression suite
                  (docs/PERFORMANCE.md) and writes a BENCH_*.json record.
+``load``         Open-loop load harness (docs/BENCHMARKS.md): ``load run``
+                 drives one offered-rate trial against a running server,
+                 ``load sweep`` bisects for the SLO knee and writes
+                 BENCH_PR8.json, ``load report`` renders a saved record.
 
 Graph-taking subcommands accept ``--kernels {csr,set}`` to pick the
 compute-kernel mode explicitly (default: ``ESD_KERNELS`` or ``csr``).
@@ -428,6 +432,105 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_load_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.loadgen import runner
+
+    summary, prometheus = runner.run_with_scrapes(
+        args.host,
+        args.port,
+        scenario=args.scenario,
+        rate=args.rate,
+        duration=args.duration,
+        workers=args.workers,
+        seed=args.seed,
+        process=args.process,
+        timeout=args.timeout,
+    )
+    document = {"summary": summary}
+    if prometheus:
+        document["prometheus"] = prometheus
+    print(json.dumps(document, indent=2, sort_keys=True))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.slo_p99_ms is not None:
+        from repro.loadgen.analysis import Slo
+
+        slo = Slo(p99_ms=args.slo_p99_ms, max_error_rate=args.slo_error_rate)
+        if not slo.met(summary):
+            print(
+                f"SLO VIOLATION: p99={summary['latency_ms']['p99']}ms "
+                f"err={summary['error_rate']} vs {slo.as_dict()}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _cmd_load_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.loadgen import runner
+    from repro.loadgen.analysis import Slo
+    from repro.loadgen.report import (
+        render_tables,
+        save_payload,
+        validate_payload,
+    )
+
+    payload = runner.run_sweep(
+        args.host,
+        args.port,
+        scenario=args.scenario,
+        slo=Slo(p99_ms=args.slo_p99_ms, max_error_rate=args.slo_error_rate),
+        lo=args.lo,
+        hi=args.hi,
+        duration=args.duration,
+        workers=args.workers,
+        seed=args.seed,
+        iterations=args.iterations,
+        baseline_duration=args.baseline_duration,
+        timeout=args.timeout,
+    )
+    path = save_payload(
+        payload, Path(args.output) if args.output else None
+    )
+    print("\n\n".join(t.render() for t in render_tables(payload)))
+    print(f"# record -> {path}", file=sys.stderr)
+    problems = validate_payload(payload)
+    if problems:
+        print("INVALID RECORD: " + "; ".join(problems), file=sys.stderr)
+        return 2
+    if payload["knee_rate_rps"] is None:
+        print(
+            "SLO VIOLATION: even the lowest probed rate missed the SLO",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_load_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.loadgen.report import (
+        load_payload,
+        render_tables,
+        validate_payload,
+    )
+
+    payload = load_payload(Path(args.record))
+    problems = validate_payload(payload)
+    print("\n\n".join(t.render() for t in render_tables(payload)))
+    if problems:
+        print("INVALID RECORD: " + "; ".join(problems), file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="esd",
@@ -667,6 +770,106 @@ def build_parser() -> argparse.ArgumentParser:
         "below its pinned SPEEDUP_FLOORS minimum",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_load = sub.add_parser(
+        "load",
+        help="open-loop load harness against a running server "
+        "(docs/BENCHMARKS.md)",
+    )
+    lsub = p_load.add_subparsers(dest="load_command", required=True)
+
+    def _add_load_target(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--host", default="127.0.0.1")
+        parser.add_argument(
+            "--port", type=int, default=7031,
+            help="esd serve or cluster router port (default 7031)",
+        )
+        parser.add_argument(
+            "--scenario", choices=["read_heavy", "mixed", "write_heavy",
+                                   "watch_fanout"],
+            default="mixed", help="read/write mix profile (default mixed)",
+        )
+        parser.add_argument(
+            "--workers", type=int, default=8,
+            help="driver connections draining the schedule (default 8)",
+        )
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument(
+            "--timeout", type=float, default=30.0,
+            help="per-connection socket timeout in seconds",
+        )
+
+    pl_run = lsub.add_parser(
+        "run", help="one open-loop trial at a fixed offered rate"
+    )
+    _add_load_target(pl_run)
+    pl_run.add_argument(
+        "--rate", type=float, default=50.0,
+        help="offered arrival rate, requests/second (default 50)",
+    )
+    pl_run.add_argument(
+        "--duration", type=float, default=5.0,
+        help="trial length in seconds (default 5)",
+    )
+    pl_run.add_argument(
+        "--process", choices=["poisson", "constant"], default="poisson",
+        help="arrival process (default poisson)",
+    )
+    pl_run.add_argument(
+        "--slo-p99-ms", type=float, default=None,
+        help="exit 1 if open-loop p99 exceeds this many milliseconds",
+    )
+    pl_run.add_argument(
+        "--slo-error-rate", type=float, default=0.0,
+        help="error-rate ceiling used with --slo-p99-ms (default 0)",
+    )
+    pl_run.add_argument("--output", help="also write the summary JSON here")
+    pl_run.set_defaults(func=_cmd_load_run)
+
+    pl_sweep = lsub.add_parser(
+        "sweep",
+        help="bisect for the SLO knee and write a BENCH_PR8.json record",
+    )
+    _add_load_target(pl_sweep)
+    pl_sweep.add_argument(
+        "--slo-p99-ms", type=float, default=50.0,
+        help="SLO: open-loop p99 ceiling in milliseconds (default 50)",
+    )
+    pl_sweep.add_argument(
+        "--slo-error-rate", type=float, default=0.0,
+        help="SLO: error-rate ceiling (default 0)",
+    )
+    pl_sweep.add_argument(
+        "--lo", type=float, default=5.0,
+        help="lower offered-rate bracket, requests/second (default 5)",
+    )
+    pl_sweep.add_argument(
+        "--hi", type=float, default=400.0,
+        help="upper offered-rate bracket, requests/second (default 400)",
+    )
+    pl_sweep.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds per bisection trial (default 2)",
+    )
+    pl_sweep.add_argument(
+        "--iterations", type=int, default=5,
+        help="bisection steps after the bracket probes (default 5)",
+    )
+    pl_sweep.add_argument(
+        "--baseline-duration", type=float, default=1.0,
+        help="seconds of closed-loop baseline measurement (default 1)",
+    )
+    pl_sweep.add_argument(
+        "--output",
+        help="BENCH JSON output path (default BENCH_PR8.json in repo root)",
+    )
+    pl_sweep.set_defaults(func=_cmd_load_sweep)
+
+    pl_report = lsub.add_parser(
+        "report", help="render and validate a saved load record"
+    )
+    pl_report.add_argument("record", help="BENCH_PR8.json path")
+    pl_report.set_defaults(func=_cmd_load_report)
     return parser
 
 

@@ -1,0 +1,54 @@
+"""repro.loadgen -- open-loop load harness with SLO gates (docs/BENCHMARKS.md).
+
+``esd bench service`` is a *closed-loop* test: 64 clients issue a
+request, wait for the reply, issue the next.  A client stuck behind a
+slow reply stops offering load, so the measured tail is the tail of the
+traffic the server *let happen* -- the coordinated-omission trap.  This
+package is the open-loop complement:
+
+* :mod:`repro.loadgen.clock` -- the injectable ``now()``/``sleep()``
+  seam every timed component runs on, so schedules and latency
+  accounting are testable with zero wall-clock sleeps;
+* :mod:`repro.loadgen.schedule` -- arrival processes (Poisson,
+  constant-rate, burst and ramp stages) pre-computed into absolute send
+  deadlines;
+* :mod:`repro.loadgen.scenario` -- declarative read/write mix profiles
+  over the ``esd serve`` JSON line protocol;
+* :mod:`repro.loadgen.driver` -- a worker pool that executes a plan
+  against a live server, charging lateness to the *deadline*, not the
+  send;
+* :mod:`repro.loadgen.analysis` -- reservoir percentiles, SLO
+  predicates, and the find-the-knee capacity bisection;
+* :mod:`repro.loadgen.report` -- ``BENCH_PR8.json`` emission, schema
+  validation, and Prometheus scrape folding.
+
+CLI: ``esd load run | sweep | report``.
+"""
+
+from repro.loadgen.analysis import Slo, capacity_sweep, summarize
+from repro.loadgen.clock import SYSTEM_CLOCK, Clock, SystemClock
+from repro.loadgen.driver import LoadDriver, OpRecord, RunResult
+from repro.loadgen.scenario import PROFILES, Profile, ScenarioPlan, build_plan
+from repro.loadgen.schedule import Stage, arrival_times, burst, constant, poisson, ramp
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "SYSTEM_CLOCK",
+    "Stage",
+    "arrival_times",
+    "constant",
+    "poisson",
+    "burst",
+    "ramp",
+    "Profile",
+    "PROFILES",
+    "ScenarioPlan",
+    "build_plan",
+    "LoadDriver",
+    "OpRecord",
+    "RunResult",
+    "Slo",
+    "summarize",
+    "capacity_sweep",
+]

@@ -1,0 +1,41 @@
+"""The clock seam: every timed loadgen component takes a ``Clock``.
+
+Wall-clock time is the hardest dependency to test against: schedules,
+lateness accounting, and knee bisection are all *about* time, yet a test
+that actually sleeps is slow and flaky.  The seam is two methods --
+``now()`` (monotonic seconds) and ``sleep(seconds)`` -- defaulted to the
+real clock.  Tests inject a ``FakeClock`` (see ``tests/loadgen/fakes``)
+whose ``sleep`` advances ``now`` instantly, so a simulated 10-minute run
+finishes in milliseconds and every timestamp is exact.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Monotonic time source + sleeper.  Subclass to fake time in tests."""
+
+    def now(self) -> float:
+        """Seconds on a monotonic clock (comparable only to itself)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (no-op when non-positive)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real thing: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+#: Shared default instance (stateless, so one is enough).
+SYSTEM_CLOCK = SystemClock()

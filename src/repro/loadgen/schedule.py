@@ -1,0 +1,170 @@
+"""Open-loop arrival schedules: absolute send deadlines, computed up front.
+
+The defining property of an open-loop generator is that the arrival
+process does not react to the system under test: request *i* is due at a
+deadline fixed before the run starts, whether or not request *i-1* has
+come back.  Pre-computing the whole schedule makes that explicit -- the
+driver can only be late, and lateness is *recorded* (charged against the
+deadline) instead of silently absorbed the way a closed-loop client
+absorbs it by not offering the next request.
+
+A schedule is a list of :class:`Stage` segments played back to back:
+
+* ``constant(rate, duration)`` -- evenly spaced arrivals;
+* ``poisson(rate, duration)`` -- exponential inter-arrivals (the
+  memoryless process real independent users approximate);
+* ``burst(rate, duration)`` -- alias of ``constant`` read as "spike";
+* ``ramp(start_rate, end_rate, duration)`` -- linearly varying rate,
+  for warm-up ramps and find-the-cliff sweeps.
+
+Everything is deterministic given ``seed``; no clock is involved.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+#: Backstop on one schedule's size: a mistyped rate should fail loudly,
+#: not allocate gigabytes of deadlines.
+MAX_ARRIVALS = 1_000_000
+
+_PROCESSES = ("poisson", "constant")
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One segment of a schedule: ``duration`` seconds of arrivals.
+
+    ``rate`` is the offered rate (arrivals/second) at the start of the
+    stage; ``end_rate`` (default: same as ``rate``) is the rate at the
+    end, with linear interpolation between -- a flat stage is just a
+    degenerate ramp.  ``process`` picks evenly spaced (``constant``) or
+    memoryless (``poisson``) arrivals.
+    """
+
+    duration: float
+    rate: float
+    end_rate: float = -1.0  # sentinel: flat (dataclass can't default to rate)
+    process: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.rate < 0 or (self.end_rate != -1.0 and self.end_rate < 0):
+            raise ValueError("rates must be >= 0")
+        if self.process not in _PROCESSES:
+            raise ValueError(
+                f"process must be one of {_PROCESSES}, got {self.process!r}"
+            )
+
+    @property
+    def final_rate(self) -> float:
+        return self.rate if self.end_rate == -1.0 else self.end_rate
+
+    @property
+    def expected_arrivals(self) -> float:
+        return (self.rate + self.final_rate) / 2.0 * self.duration
+
+
+def constant(rate: float, duration: float) -> Stage:
+    """Evenly spaced arrivals at ``rate``/s for ``duration`` seconds."""
+    return Stage(duration=duration, rate=rate, process="constant")
+
+
+def poisson(rate: float, duration: float) -> Stage:
+    """Poisson arrivals at mean ``rate``/s for ``duration`` seconds."""
+    return Stage(duration=duration, rate=rate, process="poisson")
+
+
+def burst(rate: float, duration: float) -> Stage:
+    """A short high-rate spike (evenly spaced, like a retry stampede)."""
+    return Stage(duration=duration, rate=rate, process="constant")
+
+
+def ramp(
+    start_rate: float,
+    end_rate: float,
+    duration: float,
+    process: str = "poisson",
+) -> Stage:
+    """Linearly vary the offered rate from ``start_rate`` to ``end_rate``."""
+    return Stage(
+        duration=duration, rate=start_rate, end_rate=end_rate, process=process
+    )
+
+
+def _constant_offsets(stage: Stage) -> List[float]:
+    """Deterministic arrivals: invert the cumulative-rate integral.
+
+    With rate r(t) = r0 + (r1 - r0) t/D the cumulative arrival count is
+    N(t) = r0 t + (r1 - r0) t^2 / (2D); arrival *i* lands where
+    N(t) = i.  Flat stages reduce to t = i / r0.
+    """
+    r0, r1, d = stage.rate, stage.final_rate, stage.duration
+    total = int(stage.expected_arrivals + 1e-9)
+    a = (r1 - r0) / (2.0 * d)
+    offsets: List[float] = []
+    for i in range(total):
+        if abs(a) < 1e-12:
+            t = i / r0 if r0 > 0 else d
+        else:
+            t = (-r0 + math.sqrt(r0 * r0 + 4.0 * a * i)) / (2.0 * a)
+        if t < d:
+            offsets.append(t)
+    return offsets
+
+
+def _poisson_offsets(stage: Stage, rng: random.Random) -> List[float]:
+    """Poisson arrivals; ramps use thinning against the peak rate."""
+    r_max = max(stage.rate, stage.final_rate)
+    if r_max <= 0:
+        return []
+    r0, r1, d = stage.rate, stage.final_rate, stage.duration
+    offsets: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(r_max)
+        if t >= d:
+            return offsets
+        rate_at_t = r0 + (r1 - r0) * (t / d)
+        if rate_at_t >= r_max or rng.random() < rate_at_t / r_max:
+            offsets.append(t)
+        if len(offsets) > MAX_ARRIVALS:
+            raise ValueError(
+                f"schedule exceeds {MAX_ARRIVALS} arrivals; lower the rate"
+            )
+
+
+def arrival_times(stages: Iterable[Stage], seed: int = 0) -> List[float]:
+    """Absolute send deadlines (seconds from run start) for ``stages``.
+
+    Stages play back to back; deadlines are strictly sorted within the
+    total duration.  Deterministic: the same ``(stages, seed)`` pair
+    always produces the same schedule.
+    """
+    stage_list: Sequence[Stage] = list(stages)
+    expected = sum(s.expected_arrivals for s in stage_list)
+    if expected > MAX_ARRIVALS:
+        raise ValueError(
+            f"schedule of ~{expected:.0f} arrivals exceeds {MAX_ARRIVALS}; "
+            "lower the rate or duration"
+        )
+    rng = random.Random(seed)
+    deadlines: List[float] = []
+    base = 0.0
+    for stage in stage_list:
+        if stage.process == "constant":
+            offsets = _constant_offsets(stage)
+        else:
+            offsets = _poisson_offsets(stage, rng)
+        deadlines.extend(base + off for off in offsets)
+        base += stage.duration
+    return deadlines
+
+
+def total_duration(stages: Iterable[Stage]) -> float:
+    """Wall-clock length of the schedule (sum of stage durations)."""
+    return sum(stage.duration for stage in stages)

@@ -31,9 +31,16 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Any, Dict, List
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["render_prometheus", "http_metrics_response"]
+__all__ = [
+    "render_prometheus",
+    "http_metrics_response",
+    "Sample",
+    "parse_prometheus",
+    "samples_by_name",
+]
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -72,7 +79,12 @@ def _render_endpoints(
         stats = endpoints[endpoint]
         if not isinstance(stats, dict):
             continue
-        label = str(endpoint).replace("\\", "\\\\").replace('"', '\\"')
+        label = (
+            str(endpoint)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
         for field in sorted(stats):
             value = stats[field]
             if not _is_number(value):
@@ -101,6 +113,118 @@ def render_prometheus(snapshot: Dict[str, Any], prefix: str = "esd") -> str:
     lines: List[str] = []
     _walk(_sanitize(prefix), snapshot, lines)
     return "\n".join(lines) + "\n"
+
+
+# -- parsing ------------------------------------------------------------------
+#
+# The loadgen harness scrapes ``GET /metrics`` before and after a run
+# and folds the deltas into its report, so it needs to read the format
+# back.  The parser is deliberately *tolerant*: a scrape consumer must
+# not die on one malformed line (comments, future types, exemplars...),
+# so anything unparseable is skipped, mirroring the renderer's
+# never-raise contract in the other direction.
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One parsed exposition line: ``name{labels} value``."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]  #: sorted (key, value) pairs
+    value: float
+
+    @property
+    def labels_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$"
+)
+
+_LABEL_PAIR = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:\\.|[^"\\])*)"\s*(?:,|$)'
+)
+
+_UNESCAPE = {"\\\\": "\\", '\\"': '"', "\\n": "\n"}
+
+
+def _unescape_label(raw: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(raw):
+        pair = raw[i : i + 2]
+        if pair in _UNESCAPE:
+            out.append(_UNESCAPE[pair])
+            i += 2
+        else:
+            out.append(raw[i])
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(raw: Optional[str]) -> Optional[Tuple[Tuple[str, str], ...]]:
+    """Parse the inside of ``{...}``; None when malformed."""
+    if raw is None or raw.strip() == "":
+        return ()
+    pairs: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(raw):
+        match = _LABEL_PAIR.match(raw, position)
+        if match is None:
+            return None
+        pairs.append(
+            (match.group("key"), _unescape_label(match.group("value")))
+        )
+        position = match.end()
+    return tuple(sorted(pairs))
+
+
+def _parse_value(raw: str) -> Optional[float]:
+    try:
+        return float(raw)  # accepts "+Inf", "-Inf", "NaN" spellings too
+    except ValueError:
+        return None
+
+
+def parse_prometheus(text: str) -> List[Sample]:
+    """Parse text exposition into samples, skipping what it cannot read.
+
+    Handles label-value escaping (``\\\\``, ``\\"``, ``\\n``), ``+Inf`` /
+    ``-Inf`` / ``NaN`` values, optional trailing timestamps, ``# HELP`` /
+    ``# TYPE`` comments, and arbitrary garbage lines (skipped).  The
+    round trip ``parse_prometheus(render_prometheus(snapshot))`` loses
+    nothing the renderer emitted.
+    """
+    samples: List[Sample] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _METRIC_LINE.match(line)
+        if match is None:
+            continue
+        labels = _parse_labels(match.group("labels"))
+        if labels is None:
+            continue
+        value = _parse_value(match.group("value"))
+        if value is None:
+            continue
+        samples.append(Sample(match.group("name"), labels, value))
+    return samples
+
+
+def samples_by_name(
+    samples: List[Sample],
+) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Index samples as ``name -> {labels: value}`` (later lines win)."""
+    table: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for sample in samples:
+        table.setdefault(sample.name, {})[sample.labels] = sample.value
+    return table
 
 
 def http_metrics_response(body: str) -> bytes:

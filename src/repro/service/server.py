@@ -280,6 +280,7 @@ class ESDServer:
                 "retry later",
                 request_id,
             )
+        self.engine.metrics.incr("inflight")
         try:
             return protocol.ok_response(self._dispatch(message), request_id)
         except ProtocolError as exc:
@@ -299,6 +300,7 @@ class ESDServer:
                 protocol.INTERNAL, f"{type(exc).__name__}: {exc}", request_id
             )
         finally:
+            self.engine.metrics.incr("inflight", -1)
             self._admission.release()
 
     def _dispatch(self, message: Dict[str, Any]) -> Any:

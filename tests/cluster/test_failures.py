@@ -17,6 +17,8 @@ import time
 
 import pytest
 
+from tests.conftest import wait_until
+
 from repro.cluster import (
     ReplicaConfig,
     ReplicaNode,
@@ -52,13 +54,8 @@ def _spawn(argv):
     )
 
 
-def _wait(predicate, timeout=30.0, message="condition"):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return
-        time.sleep(0.02)
-    pytest.fail(f"timed out waiting for {message}")
+#: Bounded predicate polling -- no bare sleeps (see tests/conftest.py).
+_wait = wait_until
 
 
 def _replica_version(address):

@@ -1,10 +1,12 @@
 """Replication frame codec + publisher/tailer end-to-end tests."""
 
+import functools
 import socket
 import threading
-import time
 
 import pytest
+
+from tests.conftest import wait_until
 
 from repro.cluster.replication import (
     FRAME_ACK,
@@ -145,13 +147,8 @@ class TailSink:
         )
 
 
-def _wait(predicate, timeout=10.0, message="condition"):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return
-        time.sleep(0.01)
-    pytest.fail(f"timed out waiting for {message}")
+#: Bounded predicate polling -- no bare sleeps (see tests/conftest.py).
+_wait = functools.partial(wait_until, timeout=10.0, interval=0.01)
 
 
 @pytest.fixture

@@ -1,8 +1,11 @@
 """Router behaviour: routing policy, version tokens, degradation, eviction."""
 
+import functools
 import time
 
 import pytest
+
+from tests.conftest import wait_until
 
 from repro.cluster import (
     ReplicaConfig,
@@ -16,14 +19,8 @@ from repro.cluster.router import _Backend
 from repro.graph.generators import gnm_random
 from repro.service.client import ServiceClient, ServiceError
 
-
-def _wait(predicate, timeout=15.0, message="condition"):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return
-        time.sleep(0.01)
-    pytest.fail(f"timed out waiting for {message}")
+#: Bounded predicate polling -- no bare sleeps (see tests/conftest.py).
+_wait = functools.partial(wait_until, timeout=15.0, interval=0.01)
 
 
 @pytest.fixture

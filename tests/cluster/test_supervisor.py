@@ -11,9 +11,10 @@ import os
 import socket
 import subprocess
 import sys
-import time
 
 import pytest
+
+from tests.conftest import wait_until
 
 from repro.cluster import ClusterConfig, ClusterSupervisor
 from repro.graph.generators import gnm_random
@@ -81,20 +82,21 @@ def test_replicas_converge_and_report_lag_via_prometheus(cluster):
     with ServiceClient(*cluster.address) as client:
         for i in range(4):
             client.request("update", action="insert", u=850 + i, v=851 + i)
-    deadline = time.monotonic() + 30
     addresses = list(cluster.replica_addresses.values())
-    while time.monotonic() < deadline:
+
+    def converged():
         versions = []
         for address in addresses:
             with ServiceClient(*address) as client:
                 versions.append(
                     client.request("cluster-info")["applied_version"]
                 )
-        if all(v == 4 for v in versions):
-            break
-        time.sleep(0.05)
-    else:
-        pytest.fail(f"replicas never converged: {versions}")
+        return all(v == 4 for v in versions)
+
+    wait_until(
+        converged, timeout=30, interval=0.05,
+        message="replicas converging to version 4",
+    )
     for address in addresses:
         body = _scrape(address).partition(b"\r\n\r\n")[2].decode()
         assert "esd_replication_applied_version 4" in body

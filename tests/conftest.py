@@ -1,8 +1,32 @@
-"""Shared fixtures: the paper's Fig. 1 running-example graph and friends."""
+"""Shared fixtures: the paper's Fig. 1 running-example graph and friends.
+
+Also home of :func:`wait_until`, the bounded-polling helper every
+timing-sensitive test should use instead of a bare ``time.sleep``: a
+sleep picks one duration and is either flaky (too short) or slow (too
+long), while a predicate poll exits the moment the condition holds and
+fails with a message when it never does.
+"""
+
+import time
 
 import pytest
 
 from repro.graph import Graph, paper_example_graph
+
+
+def wait_until(
+    predicate,
+    timeout: float = 30.0,
+    interval: float = 0.02,
+    message: str = "condition",
+) -> None:
+    """Poll ``predicate`` until truthy; ``pytest.fail`` after ``timeout``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    pytest.fail(f"timed out after {timeout}s waiting for {message}")
 
 
 @pytest.fixture

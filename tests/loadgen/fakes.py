@@ -1,0 +1,94 @@
+"""Deterministic test substrate for the loadgen harness.
+
+``FakeClock`` makes time a pure variable: ``sleep`` advances ``now``
+instantly, so a simulated multi-minute run executes in microseconds and
+every timestamp in the result is *exact* -- schedules, lateness
+accounting, and knee bisection are tested with zero wall-clock sleeps.
+
+``FakeTransport`` is a scripted server on the same fake clock: each
+request advances time by a service duration (overridable per request
+index to model stalls) and can be scripted to raise structured errors.
+Together they let the coordinated-omission property be proven as an
+equality, not observed as a flaky timing artifact.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.loadgen.clock import Clock
+from repro.service.client import ServiceError
+
+
+class FakeClock(Clock):
+    """A clock whose ``sleep`` advances ``now`` instead of blocking."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self.advance(seconds)
+
+    def advance(self, seconds: float) -> None:
+        with self._lock:
+            self._now += seconds
+
+
+class FakeTransport:
+    """Scripted protocol peer: canned replies, scripted time and errors.
+
+    ``service_time`` is the default seconds each request consumes on the
+    shared :class:`FakeClock`.  ``stalls`` maps a global request index
+    (0-based, counted across all ops on this transport) to a longer
+    duration -- the deliberately stalled server of the
+    coordinated-omission test.  ``errors`` maps request indexes to
+    structured error codes raised as :class:`ServiceError`.
+    """
+
+    def __init__(
+        self,
+        clock: FakeClock,
+        service_time: float = 0.001,
+        stalls: Optional[Dict[int, float]] = None,
+        errors: Optional[Dict[int, str]] = None,
+    ) -> None:
+        self.clock = clock
+        self.service_time = service_time
+        self.stalls = stalls or {}
+        self.errors = errors or {}
+        self.calls = 0
+        self.log: List[Tuple[str, Dict[str, Any]]] = []
+        self.closed = False
+        self._watch_ids = 0
+
+    def request(self, op: str, **fields: Any) -> Any:
+        index = self.calls
+        self.calls += 1
+        self.log.append((op, fields))
+        self.clock.advance(self.stalls.get(index, self.service_time))
+        if index in self.errors:
+            raise ServiceError(self.errors[index], "scripted error")
+        if op == "watch":
+            self._watch_ids += 1
+            return {"watch_id": self._watch_ids, "top": [],
+                    "graph_version": 0}
+        if op == "changes":
+            return {"watch_id": fields.get("watch_id"), "changes": []}
+        if op == "unwatch":
+            return {"watch_id": fields.get("watch_id"), "removed": True}
+        if op == "topk":
+            return {"items": [], "graph_version": 0, "cached": False,
+                    "batched": 1}
+        if op == "update":
+            return {"applied": True, "graph_version": 0}
+        return {"op": op}
+
+    def close(self) -> None:
+        self.closed = True

@@ -1,0 +1,57 @@
+"""The clock seam: the one place wall time enters the harness."""
+
+import time
+
+import pytest
+
+from repro.loadgen.clock import SYSTEM_CLOCK, Clock, SystemClock
+
+from tests.loadgen.fakes import FakeClock
+
+
+class TestSystemClock:
+    def test_now_is_monotonic_nondecreasing(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_zero_and_negative_return_immediately(self):
+        clock = SystemClock()
+        start = time.monotonic()
+        clock.sleep(0.0)
+        clock.sleep(-5.0)
+        assert time.monotonic() - start < 0.25
+
+    def test_module_singleton_is_a_system_clock(self):
+        assert isinstance(SYSTEM_CLOCK, SystemClock)
+
+
+class TestClockBase:
+    def test_base_class_is_abstract_in_spirit(self):
+        clock = Clock()
+        with pytest.raises(NotImplementedError):
+            clock.now()
+        with pytest.raises(NotImplementedError):
+            clock.sleep(1.0)
+
+
+class TestFakeClock:
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = FakeClock()
+        start = time.monotonic()
+        clock.sleep(3600.0)  # an hour of simulated time
+        assert clock.now() == 3600.0
+        assert time.monotonic() - start < 0.25  # ...in no wall time
+
+    def test_negative_and_zero_sleep_do_not_move_time(self):
+        clock = FakeClock(start=10.0)
+        clock.sleep(0.0)
+        clock.sleep(-1.0)
+        assert clock.now() == 10.0
+
+    def test_advance_accumulates(self):
+        clock = FakeClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0

@@ -1,0 +1,189 @@
+"""Driver semantics on the deterministic substrate -- no wall-clock sleeps.
+
+The centrepiece is the coordinated-omission test: a scripted server that
+stalls for two seconds must surface a ~2 s open-loop p99, while the
+send-anchored (closed-loop) view of the *same run* stays at ~1 ms.  That
+gap is the measurement error the whole harness exists to remove.
+"""
+
+import pytest
+
+from repro.loadgen.analysis import coordinated_omission_gap, summarize
+from repro.loadgen.driver import LoadDriver, Reservoir, measure_baseline
+from repro.loadgen.scenario import PROFILES, Profile, build_plan
+from repro.loadgen.schedule import arrival_times, constant
+from repro.service.metrics import percentile
+
+from tests.loadgen.fakes import FakeClock, FakeTransport
+
+READS_ONLY = Profile("reads_only", write_ratio=0.0)
+WATCH_ONLY = Profile("watch_only", write_ratio=0.0, watch_ratio=1.0)
+
+
+def _reads_plan(rate, duration, seed=0):
+    return build_plan(
+        arrival_times([constant(rate, duration)]), READS_ONLY, seed=seed
+    )
+
+
+class TestCoordinatedOmission:
+    def test_stalled_server_shows_up_in_open_loop_p99(self):
+        """1000 ops at 100/s; the server stalls 2 s on request #100.
+
+        Open loop: the stall blocks the (single) worker, so ~200 queued
+        ops go out late and their deadline-anchored latencies span
+        (0, 2] s -- p99 lands near the stall duration.  Closed loop:
+        every op but one took ~1 ms of service time, so the send-anchored
+        p99 stays at ~1 ms.  A closed-loop harness would have reported
+        the optimistic number; the open-loop accounting keeps the honest
+        one.
+        """
+        clock = FakeClock()
+        transport = FakeTransport(clock, service_time=0.001, stalls={100: 2.0})
+        driver = LoadDriver(lambda: transport, workers=1, clock=clock)
+        result = driver.run(_reads_plan(100.0, 10.0))
+
+        assert result.completed == result.scheduled == 1000
+        assert result.errors == {}
+        assert len(result.records) == 1000  # reservoir never overflowed
+
+        open_p99 = percentile([r.latency for r in result.records], 0.99)
+        closed_p99 = percentile(
+            [r.service_time for r in result.records], 0.99
+        )
+        assert 1.0 <= open_p99 <= 2.05  # ~ the stall duration
+        assert closed_p99 <= 0.01  # the lie a closed loop would tell
+        assert 1.9 <= result.max_latency <= 2.1
+        assert result.max_lateness >= 1.8  # queueing delay was charged
+
+        gap = coordinated_omission_gap(result.records)
+        assert gap["open_loop_p99_ms"] >= 1000.0
+        assert gap["closed_loop_p99_ms"] <= 10.0
+        assert gap["hidden_factor"] >= 100.0
+
+    def test_unstalled_run_shows_no_gap(self):
+        clock = FakeClock()
+        transport = FakeTransport(clock, service_time=0.001)
+        driver = LoadDriver(lambda: transport, workers=1, clock=clock)
+        result = driver.run(_reads_plan(100.0, 5.0))
+        assert result.completed == 500
+        # Sends land exactly on their deadlines: latency == service time.
+        for record in result.records:
+            assert record.sent == pytest.approx(record.deadline)
+            assert record.latency == pytest.approx(record.service_time)
+        assert result.max_lateness == pytest.approx(0.0)
+
+
+class TestDriverAccounting:
+    def test_structured_errors_counted_by_code(self):
+        clock = FakeClock()
+        transport = FakeTransport(
+            clock,
+            errors={3: "overloaded", 7: "overloaded", 11: "invalid_argument"},
+        )
+        driver = LoadDriver(lambda: transport, workers=1, clock=clock)
+        result = driver.run(_reads_plan(100.0, 1.0))
+        assert result.completed == 100
+        assert result.errors == {"overloaded": 2, "invalid_argument": 1}
+        assert result.ok == 97
+        assert result.error_total == 3
+
+    def test_setup_pool_inserted_before_scheduled_stream(self):
+        clock = FakeClock()
+        transport = FakeTransport(clock)
+        plan = build_plan(
+            arrival_times([constant(100.0, 1.0)]),
+            PROFILES["write_heavy"],
+            seed=1,
+        )
+        LoadDriver(lambda: transport, workers=1, clock=clock).run(plan)
+        setup = transport.log[: len(plan.setup_edges)]
+        assert all(op == "update" for op, _ in setup)
+        assert [
+            (fields["u"], fields["v"]) for _, fields in setup
+        ] == plan.setup_edges
+        assert all(fields["action"] == "insert" for _, fields in setup)
+
+    def test_watch_cycle_is_one_op_three_requests(self):
+        clock = FakeClock()
+        transport = FakeTransport(clock)
+        plan = build_plan(
+            arrival_times([constant(50.0, 1.0)]), WATCH_ONLY, seed=2
+        )
+        result = LoadDriver(lambda: transport, workers=1, clock=clock).run(plan)
+        assert result.completed == 50  # one logical op per cycle
+        assert transport.calls == 150
+        for i in range(0, 150, 3):
+            (op_a, _), (op_b, fb), (op_c, fc) = transport.log[i : i + 3]
+            assert (op_a, op_b, op_c) == ("watch", "changes", "unwatch")
+            assert fb["watch_id"] == fc["watch_id"]
+
+    def test_thread_pool_path_completes_everything(self):
+        # Threads + FakeClock: sleeps are instant, so this is fast; the
+        # point is that the shared-cursor path loses no ops.
+        clock = FakeClock()
+        driver = LoadDriver(
+            lambda: FakeTransport(clock), workers=4, clock=clock
+        )
+        result = driver.run(_reads_plan(200.0, 2.0))
+        assert result.completed == result.scheduled == 400
+        assert result.errors == {}
+
+    def test_summarize_counts_are_exact(self):
+        clock = FakeClock()
+        transport = FakeTransport(clock, errors={5: "overloaded"})
+        result = LoadDriver(lambda: transport, workers=1, clock=clock).run(
+            _reads_plan(100.0, 2.0)
+        )
+        summary = summarize(result, offered_rate=100.0, duration=2.0)
+        assert summary["scheduled"] == summary["completed"] == 200
+        assert summary["ok"] == 199
+        assert summary["errors"] == {"overloaded": 1}
+        assert summary["error_rate"] == pytest.approx(1 / 200)
+        assert summary["goodput_rps"] == pytest.approx(99.5)
+        assert summary["latency_samples"] == 200
+        assert set(summary["latency_ms"]) == {"p50", "p95", "p99", "p999"}
+
+
+class TestReservoir:
+    def test_keeps_everything_under_capacity(self):
+        reservoir = Reservoir(capacity=100)
+        for i in range(50):
+            reservoir.offer(i)
+        assert reservoir.items() == list(range(50))
+        assert reservoir.offered == 50
+
+    def test_capacity_bounded_and_offered_exact(self):
+        reservoir = Reservoir(capacity=64, seed=9)
+        for i in range(10_000):
+            reservoir.offer(i)
+        items = reservoir.items()
+        assert len(items) == len(reservoir) == 64
+        assert reservoir.offered == 10_000
+        # Uniform over the stream, not just the head or the tail.
+        assert min(items) < 2_500 and max(items) > 7_500
+
+    def test_deterministic_by_seed(self):
+        def fill(seed):
+            r = Reservoir(capacity=32, seed=seed)
+            for i in range(1000):
+                r.offer(i)
+            return r.items()
+
+        assert fill(4) == fill(4)
+        assert fill(4) != fill(5)
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            Reservoir(capacity=0)
+
+
+class TestBaseline:
+    def test_closed_loop_rate_matches_service_time(self):
+        clock = FakeClock()
+        baseline = measure_baseline(
+            lambda: FakeTransport(clock, service_time=0.01),
+            duration=1.0,
+            clock=clock,
+        )
+        assert baseline == pytest.approx(100.0, rel=0.05)

@@ -1,0 +1,122 @@
+"""BENCH_PR8 payloads: build, validate, persist, render, fold scrapes."""
+
+import pytest
+
+from repro.loadgen.analysis import Slo, capacity_sweep
+from repro.loadgen.report import (
+    SCHEMA_VERSION,
+    build_payload,
+    fold_scrapes,
+    load_payload,
+    render_tables,
+    save_payload,
+    validate_payload,
+)
+
+
+def _summary(rate, p99):
+    return {
+        "offered_rate_rps": rate,
+        "goodput_rps": rate * 0.99,
+        "error_rate": 0.0,
+        "latency_ms": {"p50": p99 / 4, "p95": p99 / 2, "p99": p99,
+                       "p999": p99 * 2},
+    }
+
+
+def _payload(**overrides):
+    sweep = capacity_sweep(
+        lambda rate: _summary(rate, 5.0 if rate <= 60 else 500.0),
+        lo=10.0,
+        hi=200.0,
+        slo=Slo(p99_ms=50.0),
+        iterations=4,
+    )
+    kwargs = dict(
+        scenario="mixed",
+        sweep=sweep,
+        baseline_rate_rps=80.0,
+        seed=0,
+        workers=4,
+        trial_duration_s=2.0,
+    )
+    kwargs.update(overrides)
+    return build_payload(**kwargs)
+
+
+class TestPayload:
+    def test_built_payload_validates_clean(self):
+        payload = _payload()
+        assert validate_payload(payload) == []
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["kind"] == "loadgen"
+        assert payload["knee_rate_rps"] is not None
+        assert payload["knee_vs_baseline"] == pytest.approx(
+            payload["knee_rate_rps"] / 80.0, abs=1e-3
+        )
+
+    def test_validation_names_every_problem(self):
+        payload = _payload()
+        del payload["scenario"]
+        payload["schema"] = 99
+        payload["sweep"]["points"][0].pop("goodput_rps")
+        problems = validate_payload(payload)
+        assert any("scenario" in p for p in problems)
+        assert any("schema" in p for p in problems)
+        assert any("goodput_rps" in p for p in problems)
+
+    def test_empty_points_rejected(self):
+        payload = _payload()
+        payload["sweep"]["points"] = []
+        assert any(
+            "points" in p for p in validate_payload(payload)
+        )
+
+    def test_missing_knee_is_valid_when_null(self):
+        payload = _payload()
+        payload["knee_rate_rps"] = None
+        payload["knee_vs_baseline"] = None
+        assert validate_payload(payload) == []
+
+    def test_round_trip_through_disk(self, tmp_path):
+        payload = _payload()
+        path = save_payload(payload, tmp_path / "bench.json")
+        assert load_payload(path) == payload
+        assert path.read_text().endswith("\n")
+
+    def test_render_tables_show_curve_and_verdict(self):
+        payload = _payload(
+            prometheus={"esd_endpoint_requests": {"topk": 420.0}}
+        )
+        rendered = "\n".join(t.render() for t in render_tables(payload))
+        assert "offered r/s" in rendered
+        assert "knee rate r/s" in rendered
+        assert "pass" in rendered and "FAIL" in rendered
+        assert "topk=420" in rendered
+
+
+class TestFoldScrapes:
+    BEFORE = (
+        'esd_endpoint_requests{endpoint="topk"} 10\n'
+        'esd_endpoint_requests{endpoint="update"} 3\n'
+        'esd_endpoint_errors{endpoint="topk"} 1\n'
+        "esd_graph_version 5\n"
+    )
+    AFTER = (
+        'esd_endpoint_requests{endpoint="topk"} 110\n'
+        'esd_endpoint_requests{endpoint="update"} 3\n'
+        'esd_endpoint_requests{endpoint="watch"} 7\n'
+        'esd_endpoint_errors{endpoint="topk"} 1\n'
+        "esd_graph_version 9\n"
+    )
+
+    def test_deltas_per_endpoint(self):
+        folded = fold_scrapes(self.BEFORE, self.AFTER)
+        # update didn't move and errors didn't move: zero deltas drop out;
+        # watch appeared mid-window and counts from zero.
+        assert folded == {
+            "esd_endpoint_requests": {"topk": 100.0, "watch": 7.0}
+        }
+
+    def test_identical_scrapes_fold_to_nothing(self):
+        assert fold_scrapes(self.BEFORE, self.BEFORE) == {}

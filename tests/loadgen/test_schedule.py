@@ -1,0 +1,124 @@
+"""Arrival schedules are pure functions: no clock, exact assertions."""
+
+import pytest
+
+from repro.loadgen.schedule import (
+    MAX_ARRIVALS,
+    Stage,
+    arrival_times,
+    burst,
+    constant,
+    poisson,
+    ramp,
+    total_duration,
+)
+
+
+class TestStageValidation:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            Stage(duration=0.0, rate=10.0)
+        with pytest.raises(ValueError):
+            Stage(duration=-1.0, rate=10.0)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            Stage(duration=1.0, rate=-1.0)
+        with pytest.raises(ValueError):
+            Stage(duration=1.0, rate=5.0, end_rate=-2.0)
+
+    def test_rejects_unknown_process(self):
+        with pytest.raises(ValueError):
+            Stage(duration=1.0, rate=5.0, process="uniform")
+
+    def test_final_rate_and_expected_arrivals(self):
+        flat = constant(100.0, 2.0)
+        assert flat.final_rate == 100.0
+        assert flat.expected_arrivals == 200.0
+        sloped = ramp(0.0, 100.0, 2.0)
+        assert sloped.final_rate == 100.0
+        assert sloped.expected_arrivals == 100.0  # trapezoid area
+
+
+class TestConstantProcess:
+    def test_exact_count_and_even_spacing(self):
+        deadlines = arrival_times([constant(100.0, 1.0)])
+        assert len(deadlines) == 100
+        assert deadlines[0] == 0.0
+        gaps = [b - a for a, b in zip(deadlines, deadlines[1:])]
+        assert all(abs(gap - 0.01) < 1e-9 for gap in gaps)
+
+    def test_burst_is_constant_spacing_at_high_rate(self):
+        deadlines = arrival_times([burst(1000.0, 0.1)])
+        assert len(deadlines) == 100
+        assert max(deadlines) < 0.1
+
+    def test_seed_does_not_matter_for_constant(self):
+        stages = [constant(50.0, 2.0)]
+        assert arrival_times(stages, seed=1) == arrival_times(stages, seed=2)
+
+
+class TestPoissonProcess:
+    def test_deterministic_by_seed(self):
+        stages = [poisson(50.0, 10.0)]
+        assert arrival_times(stages, seed=7) == arrival_times(stages, seed=7)
+        assert arrival_times(stages, seed=7) != arrival_times(stages, seed=8)
+
+    def test_mean_rate_matches_offered_rate(self):
+        rate, duration = 200.0, 20.0
+        deadlines = arrival_times([poisson(rate, duration)], seed=3)
+        # ~4000 arrivals; the count is Poisson(4000), sigma ~63, so a 15%
+        # band is a >9-sigma corridor -- deterministic in practice.
+        assert abs(len(deadlines) - rate * duration) < 0.15 * rate * duration
+        gaps = [b - a for a, b in zip(deadlines, deadlines[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert abs(mean_gap - 1.0 / rate) < 0.15 / rate
+
+    def test_zero_rate_yields_no_arrivals(self):
+        assert arrival_times([poisson(0.0, 5.0)], seed=1) == []
+
+
+class TestRamp:
+    def test_constant_ramp_density_increases(self):
+        deadlines = arrival_times([ramp(10.0, 50.0, 10.0, process="constant")])
+        assert abs(len(deadlines) - 300) <= 1  # trapezoid: (10+50)/2 * 10
+        half = 5.0
+        first = sum(1 for t in deadlines if t < half)
+        second = len(deadlines) - first
+        assert second > 1.5 * first  # accelerating arrivals
+
+    def test_poisson_ramp_density_increases(self):
+        deadlines = arrival_times(
+            [ramp(20.0, 100.0, 10.0, process="poisson")], seed=11
+        )
+        expected = 600.0
+        assert abs(len(deadlines) - expected) < 0.2 * expected
+        first = sum(1 for t in deadlines if t < 5.0)
+        assert (len(deadlines) - first) > 1.3 * first
+
+    def test_ramp_deadlines_sorted_within_duration(self):
+        deadlines = arrival_times(
+            [ramp(5.0, 80.0, 4.0, process="constant")]
+        )
+        assert deadlines == sorted(deadlines)
+        assert all(0.0 <= t < 4.0 for t in deadlines)
+
+
+class TestMultiStage:
+    def test_stages_play_back_to_back(self):
+        deadlines = arrival_times(
+            [constant(10.0, 1.0), constant(20.0, 1.0)]
+        )
+        assert len(deadlines) == 30
+        first = [t for t in deadlines if t < 1.0]
+        second = [t for t in deadlines if t >= 1.0]
+        assert len(first) == 10 and len(second) == 20
+        assert deadlines == sorted(deadlines)
+
+    def test_total_duration_sums_stages(self):
+        stages = [constant(1.0, 2.5), poisson(1.0, 1.5)]
+        assert total_duration(stages) == 4.0
+
+    def test_arrival_cap_fails_loudly(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            arrival_times([constant(float(2 * MAX_ARRIVALS), 1.0)])

@@ -1,6 +1,21 @@
-"""Prometheus text-exposition renderer tests."""
+"""Prometheus text-exposition renderer and parser tests.
 
-from repro.obs.promtext import http_metrics_response, render_prometheus
+The parser exists for the loadgen harness (scrape before/after a run,
+fold the deltas), so the contract pinned here is the round trip: every
+sample the renderer emits -- including escaped label values and special
+floats -- comes back intact, and garbage in the input is skipped rather
+than fatal.
+"""
+
+import math
+
+from repro.obs.promtext import (
+    Sample,
+    http_metrics_response,
+    parse_prometheus,
+    render_prometheus,
+    samples_by_name,
+)
 
 
 def test_nested_counters_flatten_with_underscores():
@@ -81,3 +96,103 @@ def test_http_wrapper_headers_and_length():
     assert b"Content-Type: text/plain; version=0.0.4; charset=utf-8" in head
     assert b"Content-Length: %d" % len(payload) in head
     assert payload == body.encode()
+
+
+class TestParser:
+    def test_plain_and_labelled_samples(self):
+        samples = parse_prometheus(
+            "esd_graph_version 5\n"
+            'esd_endpoint_requests{endpoint="topk"} 12\n'
+        )
+        assert samples == [
+            Sample("esd_graph_version", (), 5.0),
+            Sample(
+                "esd_endpoint_requests", (("endpoint", "topk"),), 12.0
+            ),
+        ]
+        assert samples[1].labels_dict == {"endpoint": "topk"}
+
+    def test_multiple_labels_sorted_and_timestamp_ignored(self):
+        (sample,) = parse_prometheus(
+            'up{job="esd", instance="replica-0"} 1 1712345678901\n'
+        )
+        assert sample.labels == (
+            ("instance", "replica-0"), ("job", "esd"),
+        )
+        assert sample.value == 1.0
+
+    def test_special_float_values(self):
+        samples = {
+            s.name: s.value
+            for s in parse_prometheus(
+                "a +Inf\nb -Inf\nc NaN\nd 1.5e3\n"
+            )
+        }
+        assert samples["a"] == math.inf
+        assert samples["b"] == -math.inf
+        assert math.isnan(samples["c"])
+        assert samples["d"] == 1500.0
+
+    def test_label_escapes_decoded(self):
+        (sample,) = parse_prometheus(
+            'm{endpoint="we\\"ird\\\\path\\nline"} 1\n'
+        )
+        assert sample.labels_dict["endpoint"] == 'we"ird\\path\nline'
+
+    def test_tolerates_comments_blanks_and_garbage(self):
+        samples = parse_prometheus(
+            "# HELP esd_up is the node up\n"
+            "# TYPE esd_up gauge\n"
+            "\n"
+            "this is not a metric line at all {{{\n"
+            "esd_up notanumber\n"
+            'esd_bad{unclosed="value} 1\n'
+            "esd_up 1\n"
+        )
+        assert samples == [Sample("esd_up", (), 1.0)]
+
+    def test_samples_by_name_indexes_and_last_wins(self):
+        table = samples_by_name(
+            parse_prometheus("a 1\na 2\nb{x=\"y\"} 3\n")
+        )
+        assert table["a"][()] == 2.0
+        assert table["b"][(("x", "y"),)] == 3.0
+
+
+class TestRoundTrip:
+    def test_renderer_output_parses_losslessly(self):
+        snapshot = {
+            "graph_version": 7,
+            "counters": {"cache": {"hits": 3}, "inflight": 0},
+            "connected": True,
+            "skip_me": "string",
+            "endpoints": {
+                "topk": {"requests": 5, "p99_ms": 1.25},
+                'we"ird\\name\nhere': {"requests": 2},
+            },
+        }
+        text = render_prometheus(snapshot)
+        table = samples_by_name(parse_prometheus(text))
+        assert table["esd_graph_version"][()] == 7.0
+        assert table["esd_counters_cache_hits"][()] == 3.0
+        assert table["esd_counters_inflight"][()] == 0.0
+        assert table["esd_connected"][()] == 1.0
+        assert "esd_skip_me" not in table
+        endpoint_requests = table["esd_endpoint_requests"]
+        assert endpoint_requests[(("endpoint", "topk"),)] == 5.0
+        # The pathological endpoint name survives escape + unescape.
+        assert endpoint_requests[
+            (("endpoint", 'we"ird\\name\nhere'),)
+        ] == 2.0
+        assert table["esd_endpoint_p99_ms"][(("endpoint", "topk"),)] == 1.25
+
+    def test_special_floats_round_trip(self):
+        text = render_prometheus({"nan": float("nan"), "inf": float("inf")})
+        table = samples_by_name(parse_prometheus(text))
+        assert table["esd_inf"][()] == math.inf
+        assert math.isnan(table["esd_nan"][()])
+
+    def test_sample_count_matches_rendered_lines(self):
+        snapshot = {"a": 1, "b": {"c": 2.5}, "d": False}
+        text = render_prometheus(snapshot)
+        assert len(parse_prometheus(text)) == len(text.strip().splitlines())

@@ -8,9 +8,10 @@ saturated admission queue: rejected loudly, recovered cleanly.
 """
 
 import threading
-import time
 
 import pytest
+
+from tests.conftest import wait_until
 
 from repro.graph import paper_example_graph
 from repro.service import (
@@ -95,6 +96,16 @@ class TestCacheAcrossEqualVersions:
             server.shutdown()
 
 
+def _wait_slot_taken(server):
+    """Block until the in-flight ``sleep`` request holds the one slot."""
+    wait_until(
+        lambda: server.engine.metrics_snapshot()["counters"].get(
+            "inflight", 0
+        ) >= 1,
+        message="the sleeper taking the only admission slot",
+    )
+
+
 class TestBackpressureSaturation:
     def _server(self, **overrides):
         config = dict(
@@ -119,7 +130,7 @@ class TestBackpressureSaturation:
 
             thread = threading.Thread(target=occupy, daemon=True)
             thread.start()
-            time.sleep(0.3)  # let the sleeper take the only slot
+            _wait_slot_taken(server)
             with ServiceClient(*server.address) as victim:
                 with pytest.raises(ServiceError) as info:
                     victim.topk(k=3, tau=1)
@@ -142,7 +153,7 @@ class TestBackpressureSaturation:
                 daemon=True,
             )
             thread.start()
-            time.sleep(0.2)
+            _wait_slot_taken(server)
             with ServiceClient(*server.address) as client:
                 with pytest.raises(ServiceError):
                     client.topk(k=3, tau=1)
@@ -162,7 +173,7 @@ class TestBackpressureSaturation:
                 daemon=True,
             )
             thread.start()
-            time.sleep(0.2)
+            _wait_slot_taken(server)
             with ServiceClient(*server.address) as client:
                 with pytest.raises(ServiceError):
                     client.topk(k=3, tau=1)

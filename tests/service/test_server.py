@@ -6,6 +6,8 @@ import threading
 
 import pytest
 
+from tests.conftest import wait_until
+
 from repro.core import build_index_fast
 from repro.graph import paper_example_graph
 from repro.service import ESDServer, ServerConfig, ServiceClient, ServiceError
@@ -200,9 +202,12 @@ class TestConcurrency:
             thread = threading.Thread(target=occupy)
             thread.start()
             started.wait(timeout=5)
-            import time
-
-            time.sleep(0.2)  # let the sleep request take the only slot
+            wait_until(
+                lambda: tiny.engine.metrics_snapshot()["counters"].get(
+                    "inflight", 0
+                ) >= 1,
+                message="the sleeper taking the only admission slot",
+            )
             with ServiceClient(host, port) as c:
                 with pytest.raises(ServiceError) as info:
                     c.ping()
