@@ -12,6 +12,22 @@ from collections import deque
 from typing import Dict, List, Tuple
 
 from repro.graph.graph import Edge, Graph, Vertex, canonical_edge
+from repro.graph.ordering import edge_sort_key
+
+
+def betweenness_normalization(n: int) -> float:
+    """The ``normalized=True`` divisor for an ``n``-vertex graph.
+
+    ``n (n - 1) / 2`` -- the number of unordered vertex pairs -- whenever
+    at least one pair exists, else ``0.0`` (nothing to normalize: a
+    graph with fewer than 2 vertices has no edges).  The previous guard
+    skipped normalization for every ``n <= 2``, so a 2-vertex graph
+    silently took the unnormalized branch on the ``normalized=True``
+    path instead of dividing by this documented denominator.
+    """
+    if n < 2:
+        return 0.0
+    return n * (n - 1) / 2.0
 
 
 def edge_betweenness(graph: Graph, normalized: bool = True) -> Dict[Edge, float]:
@@ -19,7 +35,9 @@ def edge_betweenness(graph: Graph, normalized: bool = True) -> Dict[Edge, float]
 
     The betweenness of edge ``e`` is the sum over vertex pairs ``(s, t)``
     of the fraction of shortest s-t paths passing through ``e``.  With
-    ``normalized`` the scores are divided by ``n (n - 1) / 2``.
+    ``normalized`` the scores are divided by
+    :func:`betweenness_normalization` (``n (n - 1) / 2``) for every
+    ``n >= 2``, including the 2-vertex boundary.
     """
     scores: Dict[Edge, float] = {edge: 0.0 for edge in graph.edges()}
     for s in graph.vertices():
@@ -27,10 +45,11 @@ def edge_betweenness(graph: Graph, normalized: bool = True) -> Dict[Edge, float]
     # Each undirected pair (s, t) is counted from both endpoints.
     for edge in scores:
         scores[edge] /= 2.0
-    if normalized and graph.n > 2:
-        norm = graph.n * (graph.n - 1) / 2.0
-        for edge in scores:
-            scores[edge] /= norm
+    if normalized:
+        norm = betweenness_normalization(graph.n)
+        if norm > 0:
+            for edge in scores:
+                scores[edge] /= norm
     return scores
 
 
@@ -66,9 +85,17 @@ def _accumulate_from_source(
 def topk_edge_betweenness(
     graph: Graph, k: int
 ) -> List[Tuple[Edge, float]]:
-    """Top-k edges by betweenness (the ``BT`` baseline of Exp-7/8)."""
+    """Top-k edges by betweenness (the ``BT`` baseline of Exp-7/8).
+
+    Ties break on the type-tagged edge key, so graphs mixing ``int``
+    and ``str`` vertex labels (legal: the types live in disjoint
+    components) rank deterministically instead of raising ``TypeError``
+    from the raw-tuple comparison.
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     scores = edge_betweenness(graph)
-    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    ranked = sorted(
+        scores.items(), key=lambda item: (-item[1], edge_sort_key(item[0]))
+    )
     return ranked[:k]

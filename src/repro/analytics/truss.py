@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.graph.graph import Edge, Graph, canonical_edge
+from repro.graph.ordering import edge_sort_key
 
 
 def truss_numbers(graph: Graph) -> Dict[Edge, int]:
@@ -79,9 +80,17 @@ def k_truss_subgraph(graph: Graph, k: int) -> Graph:
 
 
 def topk_truss_edges(graph: Graph, k: int) -> List[Tuple[Edge, int]]:
-    """Top-k edges by truss number (ties by edge id) -- a strength baseline."""
+    """Top-k edges by truss number -- a strength baseline.
+
+    Ties break on the type-tagged edge key (not the raw edge tuple):
+    tied edges whose vertex labels have different types -- an ``int``
+    component next to a ``str`` component -- are not mutually orderable,
+    and the raw tuple comparison raised ``TypeError`` on such graphs.
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     numbers = truss_numbers(graph)
-    ranked = sorted(numbers.items(), key=lambda item: (-item[1], item[0]))
+    ranked = sorted(
+        numbers.items(), key=lambda item: (-item[1], edge_sort_key(item[0]))
+    )
     return ranked[:k]

@@ -3,7 +3,8 @@
 Subcommands
 -----------
 ``stats``        Table-I statistics of an edge-list file or named dataset.
-``topk``         Top-k edge structural diversity search (online / exact).
+``topk``         Top-k edge search (online / exact); ``--metric`` picks the
+                 scorer (esd / truss / betweenness / common_neighbors).
 ``build-index``  Build an ESDIndex and save it to disk.
 ``query``        Query a saved ESDIndex.
 ``serve``        Long-lived query service over a maintained index (TCP/JSON);
@@ -90,6 +91,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_topk(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     start = time.perf_counter()
+    if args.metric != "esd":
+        # Non-esd metrics rank through the scorer registry; the esd
+        # path below keeps its specialized online/ordering/exact
+        # algorithms (and its historic output) untouched.
+        if args.target == "vertex":
+            raise SystemExit(
+                "error: --target vertex is only defined for --metric esd"
+            )
+        from repro.metrics import get_metric
+
+        results = get_metric(args.metric).topk(graph, args.k, tau=args.tau)
+        elapsed = time.perf_counter() - start
+        for (u, v), score in results:
+            print(f"{u}\t{v}\t{score}")
+        print(f"# {args.metric} search: {elapsed:.4f}s", file=sys.stderr)
+        return 0
     if args.target == "vertex":
         vertex_results = topk_vertex_online(graph, args.k, args.tau)
         elapsed = time.perf_counter() - start
@@ -550,6 +567,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=["online", "ordering", "exact"], default="online"
     )
     p_topk.add_argument(
+        "--metric",
+        choices=["esd", "truss", "betweenness", "common_neighbors"],
+        default="esd",
+        help="ranking metric (non-esd metrics ignore --method/--bound)",
+    )
+    p_topk.add_argument(
         "--target", choices=["edge", "vertex"], default="edge",
         help="rank edges (the paper) or vertices (Huang et al. extension)",
     )
@@ -784,9 +807,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--port", type=int, default=7031,
             help="esd serve or cluster router port (default 7031)",
         )
+        from repro.loadgen.scenario import PROFILES
+
         parser.add_argument(
-            "--scenario", choices=["read_heavy", "mixed", "write_heavy",
-                                   "watch_fanout"],
+            "--scenario", choices=sorted(PROFILES),
             default="mixed", help="read/write mix profile (default mixed)",
         )
         parser.add_argument(

@@ -28,6 +28,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.core.maintenance import DynamicESDIndex
 from repro.kernels.shm import shm_metrics
+from repro.metrics import get_metric
 from repro.obs.promtext import http_metrics_response, render_prometheus
 from repro.obs.registry import UnifiedRegistry
 from repro.obs.trace import TRACER
@@ -348,32 +349,45 @@ class ReplicaNode:
         if op == "topk":
             k = protocol.int_field(message, "k", default=10)
             tau = protocol.int_field(message, "tau", default=2)
-            with self._lock.read_locked():
-                dyn = self._checked_index(message)
-                version = dyn.graph_version
-                hit, payload = self._cache.get((k, tau, version))
-                if not hit:
-                    payload = {
-                        "items": [
-                            [u, v, score] for (u, v), score in dyn.topk(k, tau)
-                        ],
-                        "graph_version": version,
-                    }
-                    self._cache.put((k, tau, version), payload)
-                return dict(payload, cached=hit, batched=1)
+            metric = protocol.metric_field(message)
+            scorer = get_metric(metric)
+            with self.metrics.timed(f"topk|metric={metric}"):
+                with self._lock.read_locked():
+                    dyn = self._checked_index(message)
+                    version = dyn.graph_version
+                    hit, payload = self._cache.get((metric, k, tau, version))
+                    if not hit:
+                        payload = {
+                            "items": [
+                                [u, v, score]
+                                for (u, v), score in scorer.topk(
+                                    dyn.graph, k, tau=tau, index=dyn
+                                )
+                            ],
+                            "graph_version": version,
+                            "metric": metric,
+                        }
+                        self._cache.put((metric, k, tau, version), payload)
+                    return dict(payload, cached=hit, batched=1)
         if op == "score":
             u = protocol.vertex_field(message, "u")
             v = protocol.vertex_field(message, "v")
             tau = protocol.int_field(message, "tau", default=2)
-            with self._lock.read_locked():
-                dyn = self._checked_index(message)
-                return {
-                    "edge": [u, v],
-                    "tau": tau,
-                    "score": dyn.index.score((u, v), tau),
-                    "in_graph": dyn.graph.has_edge(u, v),
-                    "graph_version": dyn.graph_version,
-                }
+            metric = protocol.metric_field(message)
+            scorer = get_metric(metric)
+            with self.metrics.timed(f"score|metric={metric}"):
+                with self._lock.read_locked():
+                    dyn = self._checked_index(message)
+                    return {
+                        "edge": [u, v],
+                        "tau": tau,
+                        "metric": metric,
+                        "score": scorer.score(
+                            dyn.graph, (u, v), tau=tau, index=dyn
+                        ),
+                        "in_graph": dyn.graph.has_edge(u, v),
+                        "graph_version": dyn.graph_version,
+                    }
         if op == "stats":
             with self._lock.read_locked():
                 dyn = self._checked_index(message)

@@ -11,7 +11,29 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Set, Tuple
 
-from repro.graph.graph import Graph, Vertex
+from repro.graph.graph import Edge, Graph, Vertex
+
+
+def vertex_sort_key(u: Vertex) -> Tuple[str, Vertex]:
+    """A total-order key over vertex labels of *mixed* types.
+
+    Python refuses ``1 < "a"``, so any ranking that tie-breaks on raw
+    vertex labels blows up the moment a graph holds both ``int`` and
+    ``str`` vertices (two disjoint components with differently-typed
+    labels are perfectly legal).  Tagging each label with its type name
+    groups same-typed labels together (where ``<`` is defined) and
+    orders across types lexically by type name -- deterministic, and
+    consistent with plain label order on homogeneous graphs.
+    """
+    return (type(u).__name__, u)
+
+
+def edge_sort_key(edge: Edge) -> Tuple[Tuple[str, Vertex], Tuple[str, Vertex]]:
+    """Type-tagged total-order key for canonical edges (see
+    :func:`vertex_sort_key`); the tie-break used by every ranked-edge
+    listing that must survive mixed-type vertex labels."""
+    u, v = edge
+    return (vertex_sort_key(u), vertex_sort_key(v))
 
 
 def degree_order_key(graph: Graph) -> Callable[[Vertex], Tuple[int, Vertex]]:

@@ -185,7 +185,17 @@ def fold_scrapes(before: str, after: str) -> Dict:
         for labels, value in a.get(family, {}).items():
             delta = value - b.get(family, {}).get(labels, 0.0)
             if delta:
-                label = dict(labels).get("endpoint", str(labels))
+                table = dict(labels)
+                label = table.get("endpoint", str(labels))
+                # Dimensioned series (e.g. per-metric topk) fold under
+                # their own key instead of clobbering the aggregate.
+                extra = [
+                    f"{key}={table[key]}"
+                    for key in sorted(table)
+                    if key != "endpoint"
+                ]
+                if extra:
+                    label = "|".join([label, *extra])
                 deltas[label] = delta
         if deltas:
             folded[family] = dict(sorted(deltas.items()))

@@ -1,0 +1,33 @@
+"""``repro.metrics``: the pluggable diversity-query metric family.
+
+One ``topk(metric=...)`` surface over every edge-ranking problem the
+serving stack answers -- see :mod:`repro.metrics.scorers` for the
+scorer contract and the built-in registrations (``esd``, ``truss``,
+``betweenness``, ``common_neighbors``).
+"""
+
+from repro.metrics.scorers import (
+    DEFAULT_METRIC,
+    BetweennessScorer,
+    CommonNeighborsScorer,
+    EsdScorer,
+    MetricScorer,
+    TrussScorer,
+    get_metric,
+    metric_names,
+    rank_edges,
+    register_metric,
+)
+
+__all__ = [
+    "DEFAULT_METRIC",
+    "MetricScorer",
+    "EsdScorer",
+    "TrussScorer",
+    "BetweennessScorer",
+    "CommonNeighborsScorer",
+    "get_metric",
+    "metric_names",
+    "rank_edges",
+    "register_metric",
+]

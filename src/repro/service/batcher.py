@@ -1,14 +1,14 @@
 """Request batching: coalesce concurrent top-k queries into one index pass.
 
-Under concurrent load many clients ask for the same or similar ``(k, τ)``
-at the same graph version.  The batcher turns a burst of concurrent
-``submit`` calls into a single execution:
+Under concurrent load many clients ask for the same or similar
+``(metric, k, τ)`` at the same graph version.  The batcher turns a burst
+of concurrent ``submit`` calls into a single execution:
 
 * the first caller in an idle batcher becomes the **leader**: it waits
   ``window`` seconds for followers to pile in, then drains the pending
-  set and runs ``execute`` once over all distinct ``(k, τ)`` keys (the
-  engine runs that under a single read-lock acquisition -- one index
-  pass);
+  set and runs ``execute`` once over all distinct ``(metric, k, τ)``
+  keys (the engine runs that under a single read-lock acquisition -- one
+  index pass);
 * every other caller (a **follower**) parks on its key's event and wakes
   with the shared result;
 * duplicate keys within a batch are answered by one computation
@@ -27,6 +27,25 @@ import time
 from typing import Any, Callable, Dict, Hashable, List, Tuple
 
 from repro.obs.trace import TRACER
+
+
+def _per_waiter_error(exc: BaseException) -> BaseException:
+    """A fresh exception instance for one waiter to raise.
+
+    A failed batch is observed by *every* waiter concurrently; raising
+    the one shared instance from each waiter thread made the threads
+    race on ``exc.__traceback__`` (every ``raise`` rewrites it), so a
+    traceback captured in one thread could show frames from another.
+    Each waiter gets its own copy instead, chained to the original via
+    ``__cause__`` so nothing about the root failure is lost.
+    """
+    try:
+        copy = type(exc)(*exc.args)
+    except Exception:
+        # Exotic constructor signature: fall back to a plain wrapper.
+        copy = RuntimeError(f"{type(exc).__name__}: {exc}")
+    copy.__cause__ = exc
+    return copy
 
 
 class _Pending:
@@ -90,7 +109,7 @@ class TopKBatcher:
             if not entry.event.wait(timeout):
                 raise TimeoutError(f"batched query timed out after {timeout}s")
             if entry.error is not None:
-                raise entry.error
+                raise _per_waiter_error(entry.error)
             span.set(batch_requests=entry.result[1])
             return entry.result
 

@@ -10,12 +10,18 @@ composes the serving-layer pieces around one
   under the exclusive side, so queries never observe a half-applied
   update;
 * **result caching** -- top-k answers are cached in an LRU keyed by
-  ``(k, τ, graph_version)``; the index's mutation hook purges stale
-  versions eagerly and the version component makes stale hits impossible
-  (see :mod:`repro.service.cache`);
+  ``(metric, k, τ, graph_version)``; the index's mutation hook purges
+  stale versions eagerly and the version component (kept last, which is
+  what the purge keys on) makes stale hits impossible (see
+  :mod:`repro.service.cache`);
 * **batching** -- concurrent ``topk`` calls coalesce through a
   :class:`~repro.service.batcher.TopKBatcher` into one read-locked index
-  pass;
+  pass per distinct ``(metric, k, τ)``;
+* **metric family** -- ``topk``/``score`` take a ``metric`` selector
+  resolved through the :mod:`repro.metrics` scorer registry; ``esd``
+  (the default) answers straight from the maintained index, the other
+  scorers compute from the graph under the same read lock, and each
+  metric gets its own labeled latency series (``topk|metric=...``);
 * **change feeds** -- standing ``(k, τ)`` queries registered via
   :meth:`watch` are :class:`~repro.core.monitor.TopKMonitor` instances
   attached to the shared index and refreshed inside each update's write
@@ -44,6 +50,7 @@ from repro.core.monitor import TopKChange, TopKMonitor
 from repro.graph.graph import Graph, canonical_edge
 from repro.kernels.counters import KERNEL_COUNTERS
 from repro.kernels.shm import shm_metrics
+from repro.metrics import DEFAULT_METRIC, get_metric, metric_names
 from repro.obs.registry import UnifiedRegistry
 from repro.obs.sampler import InvariantSampler
 from repro.obs.slowlog import SlowQueryLog
@@ -69,6 +76,25 @@ def _validate_k_tau(k: int, tau: int) -> None:
         raise ValueError(f"k must be an integer >= 1, got {k!r}")
     if isinstance(tau, bool) or not isinstance(tau, int) or tau < 1:
         raise ValueError(f"tau must be an integer >= 1, got {tau!r}")
+
+
+def _validate_metric(metric: str):
+    """Resolve ``metric`` to its registered scorer (ValueError if unknown)."""
+    if not isinstance(metric, str):
+        raise ValueError(f"metric must be a string, got {metric!r}")
+    return get_metric(metric)
+
+
+def _metric_endpoint(op: str, metric: str) -> str:
+    """The labeled endpoint name for per-metric latency/counter series.
+
+    ``"topk|metric=esd"`` renders in Prometheus text exposition as
+    ``...{endpoint="topk",metric="esd"}`` (see
+    :func:`repro.obs.promtext.render_prometheus`), so each metric of the
+    diversity-query family gets its own disjoint request/error/latency
+    series while the plain ``op`` endpoint keeps the aggregate.
+    """
+    return f"{op}|metric={metric}"
 
 
 def _items(pairs) -> List[List[Any]]:
@@ -118,7 +144,16 @@ class QueryEngine:
         self.slow_log = SlowQueryLog(
             threshold=slow_query_threshold, capacity=slow_log_capacity
         )
-        self.metrics = MetricsRegistry(on_observe=self.slow_log.record)
+
+        def _slow_observe(endpoint: str, seconds: float, error: bool) -> None:
+            # Per-metric labeled series ("topk|metric=esd") time the same
+            # request the aggregate endpoint already timed; only the
+            # aggregate feeds the slow-query ring, or every slow query
+            # would appear twice.
+            if "|" not in endpoint:
+                self.slow_log.record(endpoint, seconds, error)
+
+        self.metrics = MetricsRegistry(on_observe=_slow_observe)
         self.sampler: Optional[InvariantSampler] = (
             InvariantSampler(
                 self._dyn,
@@ -214,6 +249,11 @@ class QueryEngine:
         purged = self._cache.purge_stale(version)
         if purged:
             self.metrics.incr("cache_purged_entries", purged)
+        for name in metric_names():
+            # The scorers' incremental-maintenance hook: memoized
+            # whole-graph score tables are dropped eagerly (revision
+            # keying already keeps stale reuse impossible).
+            get_metric(name).on_mutation(kind, edge, version)
         if self.sampler is not None and self.sampler.on_mutation(version):
             # Violation details live in the sampler's own metrics stanza.
             self.metrics.incr("invariant_checks")
@@ -221,57 +261,88 @@ class QueryEngine:
     def _run_batch(
         self, keys: List[Hashable]
     ) -> Dict[Hashable, Dict[str, Any]]:
-        """Answer all distinct ``(k, τ)`` keys in one read-locked pass."""
+        """Answer all distinct ``(metric, k, τ)`` keys in one read-locked pass."""
         results: Dict[Hashable, Dict[str, Any]] = {}
         with TRACER.span("engine.batch", keys=len(keys)) as span:
             hits = 0
             with self._lock.read_locked():
                 version = self._dyn.graph_version
                 for key in keys:
-                    k, tau = key
-                    hit, payload = self._cache.get((k, tau, version))
+                    metric, k, tau = key
+                    hit, payload = self._cache.get((metric, k, tau, version))
                     if hit:
                         hits += 1
                     else:
+                        scorer = get_metric(metric)
                         payload = {
-                            "items": _items(self._dyn.topk(k, tau)),
+                            "items": _items(
+                                scorer.topk(
+                                    self._dyn.graph, k,
+                                    tau=tau, index=self._dyn,
+                                )
+                            ),
                             "graph_version": version,
+                            "metric": metric,
                         }
-                        self._cache.put((k, tau, version), payload)
+                        self._cache.put((metric, k, tau, version), payload)
                     results[key] = payload
             span.set(cache_hits=hits, graph_version=version)
         return results
 
     # -- read endpoints -------------------------------------------------------
 
-    def topk(self, k: int = 10, tau: int = 2) -> Dict[str, Any]:
-        """Top-k query; served from cache or a coalesced index pass."""
+    def topk(
+        self, k: int = 10, tau: int = 2, metric: str = DEFAULT_METRIC
+    ) -> Dict[str, Any]:
+        """Top-k query; served from cache or a coalesced index pass.
+
+        ``metric`` selects the scorer (see :mod:`repro.metrics`):
+        ``esd`` (default, the paper's index-backed structural
+        diversity), ``truss``, ``betweenness``, ``common_neighbors``...
+        Cache keys are ``(metric, k, τ, version)`` and batch keys
+        ``(metric, k, τ)``, so two metrics never share a cache entry or
+        coalesce into one batched result.
+        """
         _validate_k_tau(k, tau)
-        with self.metrics.timed("topk"):
-            with TRACER.span("engine.topk", k=k, tau=tau) as span:
+        _validate_metric(metric)
+        with self.metrics.timed("topk"), \
+                self.metrics.timed(_metric_endpoint("topk", metric)):
+            with TRACER.span(
+                "engine.topk", k=k, tau=tau, metric=metric
+            ) as span:
                 # Racy fast path: a hit for the version we just read is
                 # valid by keying even if a writer lands concurrently --
                 # the answer was current at some instant inside this
                 # request.
                 version = self._dyn.graph_version
-                hit, payload = self._cache.get((k, tau, version))
+                hit, payload = self._cache.get((metric, k, tau, version))
                 if hit:
                     span.set(cache="hit", graph_version=version)
                     return dict(payload, cached=True, batched=1)
                 span.set(cache="miss")
-                payload, batch_requests = self._batcher.submit((k, tau))
+                payload, batch_requests = self._batcher.submit(
+                    (metric, k, tau)
+                )
                 span.set(batched=batch_requests)
                 return dict(payload, cached=False, batched=batch_requests)
 
-    def score(self, u, v, tau: int = 2) -> Dict[str, Any]:
-        """Structural diversity of one edge at threshold ``tau``."""
+    def score(
+        self, u, v, tau: int = 2, metric: str = DEFAULT_METRIC
+    ) -> Dict[str, Any]:
+        """One edge's metric value at threshold ``tau`` (default: the
+        paper's structural diversity, straight from the index)."""
         _validate_k_tau(1, tau)
-        with self.metrics.timed("score"):
+        scorer = _validate_metric(metric)
+        with self.metrics.timed("score"), \
+                self.metrics.timed(_metric_endpoint("score", metric)):
             with self._lock.read_locked():
                 return {
                     "edge": [u, v],
                     "tau": tau,
-                    "score": self._dyn.index.score((u, v), tau),
+                    "metric": metric,
+                    "score": scorer.score(
+                        self._dyn.graph, (u, v), tau=tau, index=self._dyn
+                    ),
                     "in_graph": self._dyn.graph.has_edge(u, v),
                     "graph_version": self._dyn.graph_version,
                 }
@@ -367,9 +438,21 @@ class QueryEngine:
 
     # -- change feeds ---------------------------------------------------------
 
-    def watch(self, k: int = 10, tau: int = 2) -> Dict[str, Any]:
-        """Register a standing ``(k, τ)`` query; returns its feed id."""
+    def watch(
+        self, k: int = 10, tau: int = 2, metric: str = DEFAULT_METRIC
+    ) -> Dict[str, Any]:
+        """Register a standing ``(k, τ)`` query; returns its feed id.
+
+        Watches ride the index's incremental maintenance, which only the
+        ``esd`` metric has -- other metrics are rejected rather than
+        silently served stale.
+        """
         _validate_k_tau(k, tau)
+        if metric != DEFAULT_METRIC:
+            raise ValueError(
+                f"watch supports only metric {DEFAULT_METRIC!r} "
+                f"(incrementally maintained); got {metric!r}"
+            )
         with self.metrics.timed("watch"):
             with self._lock.read_locked():
                 monitor = TopKMonitor.attach(self._dyn, k, tau)

@@ -4,7 +4,11 @@ One request per line, one response per line, UTF-8 JSON (no embedded
 newlines).  Requests are objects with an ``op`` field plus op-specific
 fields and an optional caller-chosen ``id`` echoed back verbatim::
 
-    {"op": "topk", "k": 10, "tau": 2, "id": 7}
+    {"op": "topk", "k": 10, "tau": 2, "metric": "esd", "id": 7}
+
+``topk`` and ``score`` take an optional ``metric`` string selecting the
+scorer (default ``"esd"``; see :mod:`repro.metrics`); unknown names are
+answered with ``invalid_argument``.
 
 Responses are either::
 
@@ -154,6 +158,25 @@ def int_field(
     if value < minimum:
         raise ProtocolError(
             INVALID_ARGUMENT, f"field {name!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def metric_field(
+    message: Dict[str, Any], name: str = "metric", default: str = "esd"
+) -> str:
+    """Extract the optional metric-selector field (a string name).
+
+    Only string-ness is validated here; whether the name is a
+    *registered* metric is the engine's call (its ``ValueError`` maps to
+    ``invalid_argument``), so the protocol layer needs no import of the
+    scorer registry.
+    """
+    value = message.get(name, default)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(
+            INVALID_ARGUMENT,
+            f"field {name!r} must be a non-empty string, got {value!r}",
         )
     return value
 

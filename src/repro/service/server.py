@@ -312,12 +312,14 @@ class ESDServer:
             return engine.topk(
                 protocol.int_field(message, "k", default=10),
                 protocol.int_field(message, "tau", default=2),
+                metric=protocol.metric_field(message),
             )
         if op == "score":
             return engine.score(
                 protocol.vertex_field(message, "u"),
                 protocol.vertex_field(message, "v"),
                 protocol.int_field(message, "tau", default=2),
+                metric=protocol.metric_field(message),
             )
         if op == "stats":
             return engine.stats()
@@ -337,6 +339,7 @@ class ESDServer:
             return engine.watch(
                 protocol.int_field(message, "k", default=10),
                 protocol.int_field(message, "tau", default=2),
+                metric=protocol.metric_field(message),
             )
         if op == "changes":
             return engine.changes(protocol.int_field(message, "watch_id"))

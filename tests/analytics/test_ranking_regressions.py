@@ -1,0 +1,73 @@
+"""Regressions: mixed-label tie-breaks and the normalization boundary.
+
+Both top-k rankers used to break ties with the raw edge tuple, which
+raises ``TypeError`` the moment two tied edges carry vertex labels of
+different types -- perfectly legal input, since a graph may hold an
+``int``-labelled component next to a ``str``-labelled one (only a
+single *edge* must be homogeneous for :func:`canonical_edge`).
+"""
+
+import pytest
+
+from repro.analytics.betweenness import (
+    betweenness_normalization,
+    edge_betweenness,
+    topk_edge_betweenness,
+)
+from repro.analytics.truss import topk_truss_edges
+from repro.graph import Graph
+
+
+def mixed_label_graph() -> Graph:
+    """Two int triangles and one str triangle: three-way ties everywhere."""
+    return Graph(
+        [
+            (1, 2), (2, 3), (1, 3),
+            (4, 5), (5, 6), (4, 6),
+            ("a", "b"), ("b", "c"), ("a", "c"),
+        ]
+    )
+
+
+class TestMixedLabelTieBreak:
+    def test_truss_topk_does_not_raise_and_is_deterministic(self):
+        graph = mixed_label_graph()
+        ranked = topk_truss_edges(graph, 9)
+        assert all(score == 3 for _, score in ranked)
+        # Type-tagged order: int edges (type name "int") before str ones.
+        assert [edge for edge, _ in ranked] == [
+            (1, 2), (1, 3), (2, 3),
+            (4, 5), (4, 6), (5, 6),
+            ("a", "b"), ("a", "c"), ("b", "c"),
+        ]
+
+    def test_betweenness_topk_does_not_raise(self):
+        graph = mixed_label_graph()
+        ranked = topk_edge_betweenness(graph, 9)
+        assert len(ranked) == 9
+        assert ranked == topk_edge_betweenness(graph, 9)  # deterministic
+
+
+class TestNormalizationBoundary:
+    def test_divisor_values(self):
+        assert betweenness_normalization(0) == 0.0
+        assert betweenness_normalization(1) == 0.0
+        assert betweenness_normalization(2) == 1.0
+        assert betweenness_normalization(3) == 3.0
+
+    def test_n2_takes_the_normalized_branch(self):
+        # One edge, one shortest path: raw betweenness 1.0, and the
+        # n=2 divisor is n(n-1)/2 = 1.0 -- the fixed guard must route
+        # through it rather than skipping normalization for n <= 2.
+        graph = Graph([(0, 1)])
+        assert edge_betweenness(graph, normalized=True) == {(0, 1): 1.0}
+        assert edge_betweenness(graph, normalized=False) == {(0, 1): 1.0}
+
+    def test_n3_path_normalizes_by_three(self):
+        graph = Graph([(0, 1), (1, 2)])
+        raw = edge_betweenness(graph, normalized=False)
+        normalized = edge_betweenness(graph, normalized=True)
+        assert raw == {(0, 1): 2.0, (1, 2): 2.0}
+        assert normalized == pytest.approx(
+            {edge: score / 3.0 for edge, score in raw.items()}
+        )

@@ -1,0 +1,53 @@
+"""Profile ``metric_mix``: stamping, determinism, legacy-plan stability."""
+
+import pytest
+
+from repro.loadgen.scenario import PROFILES, Profile, build_plan
+
+
+DEADLINES = [i * 0.01 for i in range(400)]
+
+
+def test_legacy_profiles_have_no_metric_field():
+    for name in ("read_heavy", "mixed", "write_heavy", "watch_fanout"):
+        plan = build_plan(DEADLINES, PROFILES[name], seed=7)
+        assert all("metric" not in op.fields for op in plan.ops)
+
+
+def test_cross_metric_plan_spreads_reads_over_the_family():
+    plan = build_plan(DEADLINES, PROFILES["cross_metric"], seed=7)
+    metrics = [
+        op.fields["metric"] for op in plan.ops if op.op == "topk"
+    ]
+    assert metrics, "cross_metric must schedule topk reads"
+    counts = {name: metrics.count(name) for name in set(metrics)}
+    assert set(counts) == {"esd", "truss", "betweenness", "common_neighbors"}
+    # esd carries the dominant weight (0.70 of reads).
+    assert counts["esd"] > counts["truss"]
+
+
+def test_plans_are_deterministic_per_seed():
+    one = build_plan(DEADLINES, PROFILES["cross_metric"], seed=3)
+    two = build_plan(DEADLINES, PROFILES["cross_metric"], seed=3)
+    assert one.ops == two.ops
+    other = build_plan(DEADLINES, PROFILES["cross_metric"], seed=4)
+    assert one.ops != other.ops
+
+
+def test_single_non_esd_mix_stamps_every_read():
+    profile = Profile(
+        "truss_only", write_ratio=0.0, metric_mix=(("truss", 1.0),)
+    )
+    plan = build_plan(DEADLINES[:50], profile, seed=1)
+    assert all(op.fields["metric"] == "truss" for op in plan.ops)
+
+
+def test_metric_mix_validation():
+    with pytest.raises(ValueError, match="metric_mix must not be empty"):
+        Profile("bad", write_ratio=0.0, metric_mix=())
+    with pytest.raises(ValueError, match="must be >= 0"):
+        Profile("bad", write_ratio=0.0, metric_mix=(("esd", -1.0),))
+    with pytest.raises(ValueError, match="sum to > 0"):
+        Profile("bad", write_ratio=0.0, metric_mix=(("esd", 0.0),))
+    with pytest.raises(ValueError, match="non-empty"):
+        Profile("bad", write_ratio=0.0, metric_mix=(("", 1.0),))

@@ -27,7 +27,8 @@ class TestProfileValidation:
 
     def test_builtin_profiles_cover_the_cli_choices(self):
         assert set(PROFILES) == {
-            "read_heavy", "mixed", "write_heavy", "watch_fanout"
+            "read_heavy", "mixed", "write_heavy", "watch_fanout",
+            "cross_metric",
         }
 
 

@@ -1,0 +1,63 @@
+"""Dimensioned endpoint names (``name|key=value``) as Prometheus labels."""
+
+from repro.obs.promtext import (
+    parse_prometheus,
+    render_prometheus,
+    samples_by_name,
+)
+
+
+def _render(endpoints):
+    return render_prometheus({"endpoints": endpoints})
+
+
+def test_metric_part_becomes_a_label():
+    text = _render(
+        {
+            "topk": {"requests": 5},
+            "topk|metric=truss": {"requests": 2},
+        }
+    )
+    assert 'esd_endpoint_requests{endpoint="topk"} 5' in text
+    assert 'esd_endpoint_requests{endpoint="topk",metric="truss"} 2' in text
+
+
+def test_multiple_parts_sort_into_stable_label_order():
+    text = _render({"topk|tau=2|metric=esd": {"requests": 1}})
+    assert (
+        'esd_endpoint_requests{endpoint="topk",metric="esd",tau="2"} 1'
+        in text
+    )
+
+
+def test_malformed_parts_fall_back_to_whole_name_label():
+    for name in (
+        "topk|notapair",        # no '='
+        "topk|=value",          # empty key
+        "topk|metric=",         # empty value
+        "topk|bad key=x",       # key not an identifier
+        "topk|endpoint=evil",   # would shadow the endpoint label
+    ):
+        text = _render({name: {"requests": 1}})
+        escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+        assert f'esd_endpoint_requests{{endpoint="{escaped}"}} 1' in text
+
+
+def test_label_values_are_escaped():
+    text = _render({'topk|metric=we"ird': {"requests": 1}})
+    assert 'metric="we\\"ird"' in text
+
+
+def test_round_trips_through_the_parser():
+    text = _render(
+        {
+            "topk": {"requests": 7},
+            "topk|metric=betweenness": {"requests": 3},
+        }
+    )
+    table = samples_by_name(parse_prometheus(text))
+    requests = table["esd_endpoint_requests"]
+    assert requests[(("endpoint", "topk"),)] == 7.0
+    assert requests[
+        (("endpoint", "topk"), ("metric", "betweenness"))
+    ] == 3.0
