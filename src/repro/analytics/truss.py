@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 
 from repro.graph.graph import Edge, Graph, canonical_edge
 from repro.graph.ordering import edge_sort_key
+from repro.kernels.dispatch import kernels_enabled
 
 
 def truss_numbers(graph: Graph) -> Dict[Edge, int]:
@@ -25,7 +26,16 @@ def truss_numbers(graph: Graph) -> Dict[Edge, int]:
     Edges are iteratively removed in order of lowest support; the truss
     number records the peel level: ``truss(e) = k`` means ``e`` is in the
     k-truss but not the (k+1)-truss.  Edges in no triangle get truss 2.
+
+    With kernels enabled the peel runs in id space on the CSR snapshot
+    (:func:`repro.kernels.truss.csr_truss_numbers`); truss numbers are
+    peel-order independent, so both paths return identical tables.
     """
+    if kernels_enabled() and graph.m:
+        from repro.kernels.csr import snapshot_csr
+        from repro.kernels.truss import csr_truss_numbers
+
+        return csr_truss_numbers(snapshot_csr(graph))
     work = graph.copy()
     support: Dict[Edge, int] = {
         edge: len(work.common_neighbors(*edge)) for edge in work.edges()

@@ -4,7 +4,8 @@ Subcommands
 -----------
 ``stats``        Table-I statistics of an edge-list file or named dataset.
 ``topk``         Top-k edge search (online / exact); ``--metric`` picks the
-                 scorer (esd / truss / betweenness / common_neighbors).
+                 scorer (esd / truss / betweenness / betweenness_global /
+                 common_neighbors).
 ``build-index``  Build an ESDIndex and save it to disk.
 ``query``        Query a saved ESDIndex.
 ``serve``        Long-lived query service over a maintained index (TCP/JSON);
@@ -186,6 +187,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             slow_query_threshold=args.slow_query_ms / 1000.0,
             slow_log_capacity=args.slow_log_capacity,
             invariant_check_interval=args.check_invariants_every,
+            warm_metrics=tuple(
+                name.strip()
+                for name in (args.warm_metrics or "").split(",")
+                if name.strip()
+            ),
         ),
     )
     if server.recovery is not None:
@@ -566,9 +572,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_topk.add_argument(
         "--method", choices=["online", "ordering", "exact"], default="online"
     )
+    from repro.metrics import metric_names
+
     p_topk.add_argument(
         "--metric",
-        choices=["esd", "truss", "betweenness", "common_neighbors"],
+        choices=metric_names(),
         default="esd",
         help="ranking metric (non-esd metrics ignore --method/--bound)",
     )
@@ -645,6 +653,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-invariants-every", type=int, default=0,
         help="run a sampled index invariant check every N mutations "
         "(0 = off)",
+    )
+    p_serve.add_argument(
+        "--warm-metrics",
+        help="comma-separated metric names to re-warm in the background "
+        "after each write (e.g. 'truss,betweenness'), so the next "
+        "query of those metrics hits a hot table",
     )
     p_serve.add_argument(
         "--trace",

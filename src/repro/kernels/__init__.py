@@ -25,6 +25,7 @@ the compute-heavy algorithms actually run on:
 See docs/PERFORMANCE.md for the full tour and the benchmark workflow.
 """
 
+from repro.kernels.betweenness import csr_ego_betweenness
 from repro.kernels.components import (
     csr_all_ego_component_sizes,
     csr_ego_component_sizes_ids,
@@ -48,6 +49,7 @@ from repro.kernels.intersect import (
     intersect_ids,
     merge_sorted,
 )
+from repro.kernels.truss import csr_truss_numbers
 from repro.kernels.triangles import (
     csr_count_triangles,
     csr_iter_four_cliques,
@@ -65,11 +67,13 @@ __all__ = [
     "VertexInterner",
     "csr_all_ego_component_sizes",
     "csr_count_triangles",
+    "csr_ego_betweenness",
     "csr_ego_component_sizes_ids",
     "csr_iter_four_cliques",
     "csr_iter_triangles",
     "csr_raw_components",
     "csr_triangle_count_per_edge",
+    "csr_truss_numbers",
     "decode_bits",
     "gallop_sorted",
     "intersect_count",

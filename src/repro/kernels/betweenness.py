@@ -1,0 +1,66 @@
+"""CSR-native ego-betweenness of every edge.
+
+Ego-betweenness restricts betweenness accounting to the edge's own
+2-hop neighborhood: for edge ``(u, v)`` it sums, over vertex pairs at
+distance <= 2 whose shortest paths can use the edge, the fraction of
+shortest paths that do.  Concretely::
+
+    ego_bt(u, v) = 1                                  # the pair (u, v)
+                 + sum_{a in N(u) \\ N[v]} 1 / |N(a) ∩ N(v)|
+                 + sum_{b in N(v) \\ N[u]} 1 / |N(u) ∩ N(b)|
+
+Each term is the fraction of length-2 shortest ``a``--``v`` (resp.
+``u``--``b``) paths routed through the edge; ``u`` (resp. ``v``) is
+always a witness, so no term divides by zero.  The computation is pure
+neighborhood intersection work -- exactly the regime the packed bitset
+rows are built for -- and costs ``O(sum_e d(u) + d(v))`` ANDs overall,
+versus the ``O(n m)`` of a global Brandes pass.
+
+Both this kernel and the set path in
+:mod:`repro.analytics.betweenness` reduce the terms with
+:func:`math.fsum`, which is correctly rounded and therefore independent
+of summation order: the two modes return bit-identical floats.
+"""
+
+from __future__ import annotations
+
+from math import fsum
+from typing import Dict, List, Tuple
+
+from repro.kernels.counters import KERNEL_COUNTERS
+from repro.kernels.csr import CSRGraph
+
+__all__ = ["csr_ego_betweenness"]
+
+
+def csr_ego_betweenness(csr: CSRGraph) -> Dict[Tuple, float]:
+    """Ego-betweenness of every edge, keyed by canonical *label* edge."""
+    if csr.m == 0:
+        return {}
+    csr.ensure_bits()
+    adj: List[int] = csr.adj_bits
+    canon = csr.canonical_label_edge
+    intersections = 0
+    out: Dict[Tuple, float] = {}
+    for u, v in csr.directed_edge_ids():
+        bu, bv = adj[u], adj[v]
+        terms = [1.0]
+        # a in N(u) \ N[v]: length-2 pairs (a, v) whose paths may use (u, v).
+        side = bu & ~bv & ~(1 << v)
+        while side:
+            low = side & -side
+            side ^= low
+            a = low.bit_length() - 1
+            terms.append(1.0 / (adj[a] & bv).bit_count())
+            intersections += 1
+        # b in N(v) \ N[u]: the symmetric side through u.
+        side = bv & ~bu & ~(1 << u)
+        while side:
+            low = side & -side
+            side ^= low
+            b = low.bit_length() - 1
+            terms.append(1.0 / (adj[b] & bu).bit_count())
+            intersections += 1
+        out[canon(u, v)] = fsum(terms)
+    KERNEL_COUNTERS.bitset_intersections += intersections
+    return out

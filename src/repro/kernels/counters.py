@@ -35,6 +35,9 @@ class KernelCounters:
         "triangle_kernels",
         "four_clique_kernels",
         "component_kernels",
+        "truss_kernels",
+        "truss_repeels",
+        "truss_rebuilds",
     )
 
     def __init__(self) -> None:
@@ -53,6 +56,9 @@ class KernelCounters:
         self.triangle_kernels = 0
         self.four_clique_kernels = 0
         self.component_kernels = 0
+        self.truss_kernels = 0
+        self.truss_repeels = 0
+        self.truss_rebuilds = 0
 
     def snapshot(self) -> Dict[str, int]:
         """JSON-ready view of all counters."""

@@ -33,6 +33,7 @@ from itertools import chain
 from typing import Dict, Hashable, Iterable, List, Tuple
 
 from repro.graph.graph import Graph
+from repro.graph.ordering import vertex_sort_key
 from repro.kernels.counters import KERNEL_COUNTERS
 from repro.kernels.intern import VertexInterner
 
@@ -88,9 +89,15 @@ class CSRGraph:
         Rows come out sorted without a per-row sort: vertices are
         visited in ascending id order and appended to each *neighbor's*
         row, a counting-sort pass over the directed edges.
+
+        Label ties break on the type-tagged :func:`vertex_sort_key`, so
+        a graph mixing ``int`` and ``str`` components (legal: only each
+        *edge* must be homogeneous) still interns deterministically.
+        Same relative order as the raw label for homogeneous graphs.
         """
         order = sorted(
-            graph.vertices(), key=lambda u: (graph.degree(u), u)
+            graph.vertices(),
+            key=lambda u: (graph.degree(u), vertex_sort_key(u)),
         )
         interner = VertexInterner(order)
         ids = interner.ids
@@ -135,7 +142,10 @@ class CSRGraph:
                 dirty.add(entry[1])
             else:  # "-v": the vertex is gone, its neighbors lost a row entry
                 dirty.update(entry[2])
-        order = sorted(graph.vertices(), key=lambda u: (graph.degree(u), u))
+        order = sorted(
+            graph.vertices(),
+            key=lambda u: (graph.degree(u), vertex_sort_key(u)),
+        )
         interner = VertexInterner(order)
         ids = interner.ids
         old_ids = old.interner.ids
@@ -187,7 +197,9 @@ class CSRGraph:
             degree[u] += 1
             degree[v] += 1
             pairs.append((u, v))
-        order = sorted(degree, key=lambda u: (degree[u], u))
+        order = sorted(
+            degree, key=lambda u: (degree[u], vertex_sort_key(u))
+        )
         interner = VertexInterner(order)
         ids = interner.ids
         n = len(order)

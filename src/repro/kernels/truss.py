@@ -1,0 +1,94 @@
+"""CSR-native k-truss decomposition (bucket peel in id space).
+
+The set-based peel in :mod:`repro.analytics.truss` clones the graph and
+runs ``common_neighbors`` per removal -- per-edge Python set work on a
+structure that shrinks as it peels.  This kernel restates the same
+bucket peel on the interned CSR snapshot: supports are seeded with
+word-parallel bitset ANDs over the packed out-neighbor rows (the
+:func:`~repro.kernels.triangles.csr_triangle_count_per_edge` regime),
+and the peel mutates a *copy* of the adjacency bitsets, so triangle
+enumeration around the peeled edge stays a single AND + bit-scan.
+
+Truss numbers are a property of the graph, not of the peel order: every
+minimum-support peel sequence yields the same per-edge values.  The two
+paths therefore agree edge-for-edge (the differential tests assert dict
+equality), even though their internal pop orders differ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.kernels.counters import KERNEL_COUNTERS
+from repro.kernels.csr import CSRGraph
+
+__all__ = ["csr_truss_numbers"]
+
+
+def csr_truss_numbers(csr: CSRGraph) -> Dict[Tuple, int]:
+    """Truss number of every edge, keyed by canonical *label* edge.
+
+    Same contract as :func:`repro.analytics.truss.truss_numbers`: edges
+    in no triangle get truss 2, and ``truss(e) = k`` means ``e`` survives
+    in the k-truss but not the (k+1)-truss.
+    """
+    KERNEL_COUNTERS.truss_kernels += 1
+    if csr.m == 0:
+        return {}
+    csr.ensure_bits()
+    n = csr.n
+    # Mutable peel state: a copy of the adjacency bitsets (the snapshot's
+    # own rows must stay frozen -- it is shared via the snapshot cache).
+    adj: List[int] = list(csr.adj_bits)
+
+    edges: List[Tuple[int, int]] = csr.directed_edge_ids()
+    edge_index: Dict[int, int] = {}
+    support: List[int] = []
+    for eid, (u, v) in enumerate(edges):
+        edge_index[u * n + v] = eid
+        support.append((adj[u] & adj[v]).bit_count())
+    KERNEL_COUNTERS.bitset_intersections += len(edges)
+
+    max_support = max(support)
+    buckets: List[Set[int]] = [set() for _ in range(max_support + 1)]
+    for eid, s in enumerate(support):
+        buckets[s].add(eid)
+
+    truss_of: List[int] = [0] * len(edges)
+    k = 2
+    cursor = 0
+    remaining = len(edges)
+    while remaining:
+        while cursor <= max_support and not buckets[cursor]:
+            cursor += 1
+        if cursor > max_support:
+            break
+        k = max(k, cursor + 2)
+        eid = buckets[cursor].pop()
+        u, v = edges[eid]
+        truss_of[eid] = k
+        # Peeling (u, v) lowers the support of both partner edges of
+        # every triangle it still closes.
+        common = adj[u] & adj[v]
+        while common:
+            low = common & -common
+            w = low.bit_length() - 1
+            common ^= low
+            for a, b in ((u, w), (v, w)):
+                if a > b:
+                    a, b = b, a
+                other = edge_index[a * n + b]
+                s = support[other]
+                if s > cursor:
+                    buckets[s].discard(other)
+                    support[other] = s - 1
+                    buckets[s - 1].add(other)
+        adj[u] ^= 1 << v
+        adj[v] ^= 1 << u
+        remaining -= 1
+        cursor = max(cursor - 1, 0)
+
+    canon = csr.canonical_label_edge
+    return {
+        canon(u, v): truss_of[eid] for eid, (u, v) in enumerate(edges)
+    }

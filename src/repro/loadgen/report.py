@@ -232,6 +232,37 @@ def render_tables(payload: Dict) -> List[ExperimentTable]:
             f"{point.get('error_rate', 0):.4f}",
             "pass" if point.get("slo_met") else "FAIL",
         )
+    tables = [curve]
+    # Cross-metric runs attribute latency per metric; render the split
+    # for every sweep point that carries it (the whole reason a slow
+    # scorer is visible in this report at all).
+    per_metric_points = [
+        point
+        for point in sweep.get("points", [])
+        if point.get("per_metric_latency_ms")
+    ]
+    if per_metric_points:
+        split = ExperimentTable(
+            experiment="loadgen",
+            title="per-metric latency (open-loop)",
+            columns=[
+                "offered r/s", "metric", "p50 ms", "p95 ms", "p99 ms",
+                "samples",
+            ],
+        )
+        for point in per_metric_points:
+            for metric, dist in sorted(
+                point["per_metric_latency_ms"].items()
+            ):
+                split.add_row(
+                    f"{point.get('offered_rate_rps', 0):.1f}",
+                    metric,
+                    f"{dist.get('p50', 0):.2f}",
+                    f"{dist.get('p95', 0):.2f}",
+                    f"{dist.get('p99', 0):.2f}",
+                    dist.get("samples", 0),
+                )
+        tables.append(split)
     verdict = ExperimentTable(
         experiment="loadgen",
         title="capacity verdict",
@@ -247,4 +278,5 @@ def render_tables(payload: Dict) -> List[ExperimentTable]:
             f"{family} deltas: "
             + ", ".join(f"{k}={v:g}" for k, v in deltas.items())
         )
-    return [curve, verdict]
+    tables.append(verdict)
+    return tables

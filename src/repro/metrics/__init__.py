@@ -3,13 +3,16 @@
 One ``topk(metric=...)`` surface over every edge-ranking problem the
 serving stack answers -- see :mod:`repro.metrics.scorers` for the
 scorer contract and the built-in registrations (``esd``, ``truss``,
-``betweenness``, ``common_neighbors``).
+``betweenness`` (ego), ``betweenness_global`` (Brandes),
+``common_neighbors``).
 """
 
 from repro.metrics.scorers import (
     DEFAULT_METRIC,
+    TRUSS_DELTA_OPS_LIMIT,
     BetweennessScorer,
     CommonNeighborsScorer,
+    EgoBetweennessScorer,
     EsdScorer,
     MetricScorer,
     TrussScorer,
@@ -17,17 +20,21 @@ from repro.metrics.scorers import (
     metric_names,
     rank_edges,
     register_metric,
+    scorer_stats,
 )
 
 __all__ = [
     "DEFAULT_METRIC",
+    "TRUSS_DELTA_OPS_LIMIT",
     "MetricScorer",
     "EsdScorer",
     "TrussScorer",
+    "EgoBetweennessScorer",
     "BetweennessScorer",
     "CommonNeighborsScorer",
     "get_metric",
     "metric_names",
     "rank_edges",
     "register_metric",
+    "scorer_stats",
 ]

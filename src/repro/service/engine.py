@@ -50,7 +50,12 @@ from repro.core.monitor import TopKChange, TopKMonitor
 from repro.graph.graph import Graph, canonical_edge
 from repro.kernels.counters import KERNEL_COUNTERS
 from repro.kernels.shm import shm_metrics
-from repro.metrics import DEFAULT_METRIC, get_metric, metric_names
+from repro.metrics import (
+    DEFAULT_METRIC,
+    get_metric,
+    metric_names,
+    scorer_stats,
+)
 from repro.obs.registry import UnifiedRegistry
 from repro.obs.sampler import InvariantSampler
 from repro.obs.slowlog import SlowQueryLog
@@ -118,6 +123,7 @@ class QueryEngine:
         slow_log_capacity: int = 128,
         invariant_check_interval: int = 0,
         invariant_sample_size: int = 8,
+        warm_metrics: Optional[List[str]] = None,
     ) -> None:
         if (graph is None) == (dynamic_index is None):
             raise ValueError(
@@ -166,7 +172,27 @@ class QueryEngine:
         self._watch_lock = threading.Lock()
         self._watches: Dict[int, _Watch] = {}
         self._watch_ids = itertools.count(1)
+        # Per-edge hook: sampler + watch bookkeeping need every version.
+        # Batch hook: cache purge + scorer maintenance fire once per
+        # commit group (once per apply_batch instead of once per edge).
         self._dyn.subscribe(self._on_mutation)
+        self._dyn.subscribe_batch(self._on_batch)
+        # Opt-in background warmer: after mutations, recompute the named
+        # scorers' tables off the query path.
+        self._warm_metrics: Tuple[str, ...] = tuple(warm_metrics or ())
+        for name in self._warm_metrics:
+            get_metric(name)  # unknown names fail loudly at construction
+        self._warm_cond = threading.Condition()
+        self._warm_dirty = False
+        self._warm_stop = False
+        self._warm_thread: Optional[threading.Thread] = None
+        if self._warm_metrics:
+            self._warm_thread = threading.Thread(
+                target=self._warm_loop,
+                name="esd-metric-warmer",
+                daemon=True,
+            )
+            self._warm_thread.start()
         self.obs = self._build_registry()
 
     # -- plumbing -------------------------------------------------------------
@@ -204,8 +230,15 @@ class QueryEngine:
         On a *clean* shutdown, mutations that arrived since the last
         snapshot are compacted into a fresh one so the next start
         replays nothing.  A crash skips this path by definition -- then
-        recovery replays the WAL tail instead.
+        recovery replays the WAL tail instead.  The background metric
+        warmer (if any) is stopped first, outside the engine lock.
         """
+        if self._warm_thread is not None:
+            with self._warm_cond:
+                self._warm_stop = True
+                self._warm_cond.notify_all()
+            self._warm_thread.join(timeout=5.0)
+            self._warm_thread = None
         if self._store is None:
             return
         with self._lock.write_locked():
@@ -223,6 +256,7 @@ class QueryEngine:
         registry.add_source("graph_version", lambda: self._dyn.graph_version)
         registry.add_source("core", self._core_counters)
         registry.add_source("kernels", KERNEL_COUNTERS.snapshot)
+        registry.add_source("scorer_memos", scorer_stats)
         registry.add_source("shm", shm_metrics)
         registry.add_source("slow_queries", self.slow_log.snapshot)
         registry.add_source(
@@ -245,18 +279,51 @@ class QueryEngine:
         }
 
     def _on_mutation(self, kind: str, edge, version: int) -> None:
-        # Runs under the write lock, after the index is consistent again.
+        # Runs under the write lock, once per committed edge update.
+        if self.sampler is not None and self.sampler.on_mutation(version):
+            # Violation details live in the sampler's own metrics stanza.
+            self.metrics.incr("invariant_checks")
+
+    def _on_batch(self, events, version: int) -> None:
+        # Runs under the write lock, once per commit group (a single
+        # update is a one-event group; apply_batch delivers the whole
+        # ordered event list at its final version).
         purged = self._cache.purge_stale(version)
         if purged:
             self.metrics.incr("cache_purged_entries", purged)
         for name in metric_names():
-            # The scorers' incremental-maintenance hook: memoized
-            # whole-graph score tables are dropped eagerly (revision
-            # keying already keeps stale reuse impossible).
-            get_metric(name).on_mutation(kind, edge, version)
-        if self.sampler is not None and self.sampler.on_mutation(version):
-            # Violation details live in the sampler's own metrics stanza.
-            self.metrics.incr("invariant_checks")
+            # The scorers' incremental-maintenance hook, once per scorer
+            # per batch -- invalidating a memo N times per batch bought
+            # nothing.
+            get_metric(name).on_batch(events, version)
+        if self._warm_thread is not None:
+            with self._warm_cond:
+                self._warm_dirty = True
+                self._warm_cond.notify_all()
+
+    def _warm_loop(self) -> None:
+        """Background warmer: repopulate scorer tables after mutations.
+
+        Waits for a dirty signal, then calls each named scorer's
+        ``warm`` under the read lock.  Coalescing is free: however many
+        mutations landed while a pass ran, the next pass warms the
+        latest revision once.  Best-effort -- a failing scorer is
+        counted, not fatal.
+        """
+        while True:
+            with self._warm_cond:
+                while not self._warm_dirty and not self._warm_stop:
+                    self._warm_cond.wait()
+                if self._warm_stop:
+                    return
+                self._warm_dirty = False
+            for name in self._warm_metrics:
+                try:
+                    with self._lock.read_locked():
+                        get_metric(name).warm(self._dyn.graph)
+                except Exception:
+                    self.metrics.incr("metric_warm_errors")
+            self.metrics.incr("metric_warm_passes")
 
     def _run_batch(
         self, keys: List[Hashable]

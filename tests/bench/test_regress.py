@@ -120,18 +120,45 @@ class TestCompare:
 
 
 class TestFindBaseline:
+    @staticmethod
+    def _regress_record(path):
+        path.write_text(json.dumps({"suites": {}}))
+
     def test_picks_newest_other_bench_file(self, tmp_path, monkeypatch):
         monkeypatch.setattr(regress, "REPO_ROOT", tmp_path)
-        (tmp_path / "BENCH_PR4.json").write_text("{}")
-        (tmp_path / "BENCH_PR5.json").write_text("{}")
+        self._regress_record(tmp_path / "BENCH_PR4.json")
+        self._regress_record(tmp_path / "BENCH_PR5.json")
         assert find_baseline(tmp_path / "BENCH_PR5.json") == (
             tmp_path / "BENCH_PR4.json"
         )
 
     def test_none_when_no_other_files(self, tmp_path, monkeypatch):
         monkeypatch.setattr(regress, "REPO_ROOT", tmp_path)
-        (tmp_path / "BENCH_PR5.json").write_text("{}")
+        self._regress_record(tmp_path / "BENCH_PR5.json")
         assert find_baseline(tmp_path / "BENCH_PR5.json") is None
+
+    def test_orders_numerically_not_lexically(self, tmp_path, monkeypatch):
+        # Lexically BENCH_PR10 < BENCH_PR7; the finder must not fall
+        # for it once the chain passes PR 9.
+        monkeypatch.setattr(regress, "REPO_ROOT", tmp_path)
+        self._regress_record(tmp_path / "BENCH_PR7.json")
+        self._regress_record(tmp_path / "BENCH_PR10.json")
+        assert find_baseline(tmp_path / "BENCH_PR11.json") == (
+            tmp_path / "BENCH_PR10.json"
+        )
+
+    def test_skips_non_regress_records(self, tmp_path, monkeypatch):
+        # Loadgen capacity records share the BENCH_*.json naming but
+        # carry no "suites" table; unparseable files are skipped too.
+        monkeypatch.setattr(regress, "REPO_ROOT", tmp_path)
+        self._regress_record(tmp_path / "BENCH_PR7.json")
+        (tmp_path / "BENCH_PR8.json").write_text(
+            json.dumps({"kind": "loadgen", "sweep": {}})
+        )
+        (tmp_path / "BENCH_PR9.json").write_text("not json {")
+        assert find_baseline(tmp_path / "BENCH_PR10.json") == (
+            tmp_path / "BENCH_PR7.json"
+        )
 
 
 @pytest.fixture
@@ -234,11 +261,71 @@ class TestCheckFloors:
         assert regress.check_floors(payload_with(1.0, 0.01)) == []
 
 
+@pytest.fixture
+def tiny_new_suites(monkeypatch, tmp_path):
+    """Millisecond-sized variants of the specialized suites."""
+    monkeypatch.setattr(regress, "REPO_ROOT", tmp_path)
+    monkeypatch.setattr(
+        regress,
+        "SUITES",
+        {
+            "truss_build": {
+                "kind": "truss_build",
+                "n": 20, "p": 0.3, "seed": 11, "repeats": 1,
+            },
+            "metric_maintenance": {
+                "kind": "metric_maintenance",
+                "communities": 3, "community_size": 8, "p_in": 0.5,
+                "seed": 11, "k": 3, "probes": 2,
+                "bt_n": 16, "bt_p": 0.3, "bt_probes": 1,
+                "repeats": 1,
+            },
+        },
+    )
+
+
+class TestSpecializedSuites:
+    def test_new_suites_produce_records(self, tiny_new_suites):
+        payload = run_regress(quick=True)
+        assert set(payload["suites"]) == {"truss_build", "metric_maintenance"}
+        build_ops = payload["suites"]["truss_build"]["ops"]
+        assert set(build_ops) == set(regress.SUITE_KIND_OPS["truss_build"])
+        maint_ops = payload["suites"]["metric_maintenance"]["ops"]
+        assert set(maint_ops) == set(
+            regress.SUITE_KIND_OPS["metric_maintenance"]
+        )
+        for record in (*build_ops.values(), *maint_ops.values()):
+            assert record["csr_median_s"] > 0
+            assert record["set_median_s"] > 0
+        # The csr pass must actually exercise the truss kernel / the
+        # incremental maintenance path, not silently fall back.
+        assert (
+            payload["suites"]["truss_build"]["kernel_counters"][
+                "truss_kernels"
+            ]
+            >= 1
+        )
+        maint_counters = payload["suites"]["metric_maintenance"][
+            "kernel_counters"
+        ]
+        assert (
+            maint_counters["truss_repeels"] + maint_counters["truss_rebuilds"]
+            > 0
+        )
+
+    def test_quick_run_keeps_specialized_suites(self, tiny_new_suites):
+        # --quick drops only the classic "full" suite: the specialized
+        # suites carry the PR-10 floors, so CI must keep running them.
+        payload = run_regress(quick=True)
+        assert "metric_maintenance" in payload["suites"]
+        assert "truss_build" in payload["suites"]
+
+
 class TestCommittedBenchFile:
-    def test_bench_pr7_record_is_valid(self):
-        path = regress.REPO_ROOT / "BENCH_PR7.json"
+    def test_bench_pr10_record_is_valid(self):
+        path = regress.REPO_ROOT / "BENCH_PR10.json"
         payload = json.loads(path.read_text())
-        assert payload["bench"] == "PR7"
+        assert payload["bench"] == "PR10"
         assert payload["schema"] == 1
         assert payload["floor_failures"] == []
         for name in ("full", "quick"):
@@ -247,7 +334,11 @@ class TestCommittedBenchFile:
             for op in regress.SPEEDUP_OPS:
                 # Carried over from the PR5 acceptance gate: >= 2x.
                 assert ops[op]["speedup"] >= 2.0
-            for op, floor in regress.SPEEDUP_FLOORS.items():
-                # PR7's acceptance gate: batched kernel maintenance
-                # holds >= 1.5x over the set path on the dense suite.
-                assert ops[op]["speedup"] >= floor
+        for suite in ("truss_build", "metric_maintenance"):
+            ops = payload["suites"][suite]["ops"]
+            assert set(ops) == set(regress.SUITE_KIND_OPS[suite])
+        # Every floor -- including the PR-10 >= 5x incremental-
+        # maintenance gate -- holds in the committed record.
+        assert regress.check_floors(payload) == []
+        for op in regress.SUITE_KIND_OPS["metric_maintenance"]:
+            assert regress.SPEEDUP_FLOORS[op] >= 5.0

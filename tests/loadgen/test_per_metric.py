@@ -1,0 +1,131 @@
+"""Per-metric latency attribution in cross-metric loadgen runs.
+
+One slow scorer must not be able to hide inside the folded latency
+series: when a run mixes metrics, ``summarize`` splits the open-loop
+distribution per metric and the report renders the split.  Single-
+metric runs keep the legacy payload shape (no new key), so committed
+BENCH_PR8-style records stay schema-stable.
+"""
+
+from __future__ import annotations
+
+from repro.loadgen.analysis import summarize
+from repro.loadgen.driver import OpRecord, RunResult, _op_metric
+from repro.loadgen.report import render_tables
+from repro.loadgen.scenario import ScheduledOp
+
+
+def _record(latency: float, metric, op: str = "topk") -> OpRecord:
+    return OpRecord(
+        deadline=0.0,
+        sent=0.0,
+        done=latency,
+        op=op,
+        kind="read" if op == "topk" else "write",
+        metric=metric,
+    )
+
+
+def _result(records) -> RunResult:
+    result = RunResult(scheduled=len(records), completed=len(records))
+    result.ok = len(records)
+    result.records = list(records)
+    result.wall_seconds = 1.0
+    return result
+
+
+class TestOpMetric:
+    def test_topk_defaults_to_esd(self):
+        op = ScheduledOp(deadline=0.0, op="topk", fields={"k": 5}, kind="read")
+        assert _op_metric(op) == "esd"
+
+    def test_topk_carries_its_metric(self):
+        op = ScheduledOp(
+            deadline=0.0,
+            op="topk",
+            fields={"k": 5, "metric": "truss"},
+            kind="read",
+        )
+        assert _op_metric(op) == "truss"
+
+    def test_writes_are_unattributed(self):
+        op = ScheduledOp(
+            deadline=0.0,
+            op="update",
+            fields={"action": "insert", "u": 1, "v": 2},
+            kind="write",
+        )
+        assert _op_metric(op) is None
+
+
+class TestSummarizeSplit:
+    def test_cross_metric_run_gets_the_split(self):
+        records = (
+            [_record(0.010, "esd") for _ in range(10)]
+            + [_record(0.200, "truss") for _ in range(10)]
+            + [_record(0.005, None, op="update")]
+        )
+        summary = summarize(_result(records), offered_rate=10.0, duration=1.0)
+        split = summary["per_metric_latency_ms"]
+        assert set(split) == {"esd", "truss"}
+        assert split["esd"]["samples"] == 10
+        assert split["truss"]["samples"] == 10
+        # The folded p99 hides the slow scorer; the split must not.
+        assert split["truss"]["p99"] > split["esd"]["p99"] * 10
+        for dist in split.values():
+            assert set(dist) >= {"p50", "p95", "p99", "samples"}
+
+    def test_single_metric_run_keeps_legacy_shape(self):
+        records = [_record(0.010, "esd") for _ in range(5)]
+        summary = summarize(_result(records), offered_rate=5.0, duration=1.0)
+        assert "per_metric_latency_ms" not in summary
+
+    def test_unattributed_records_never_form_a_split(self):
+        records = [_record(0.010, None, op="update") for _ in range(5)]
+        summary = summarize(_result(records), offered_rate=5.0, duration=1.0)
+        assert "per_metric_latency_ms" not in summary
+
+
+class TestReportRendersSplit:
+    @staticmethod
+    def _payload(point) -> dict:
+        return {
+            "scenario": "cross_metric",
+            "baseline_rate_rps": 100.0,
+            "sweep": {
+                "slo": {"p99_ms": 50.0, "max_error_rate": 0.0},
+                "points": [point],
+            },
+            "knee_rate_rps": 10.0,
+            "knee_vs_baseline": 0.1,
+        }
+
+    @staticmethod
+    def _point(**extra) -> dict:
+        return {
+            "offered_rate_rps": 10.0,
+            "goodput_rps": 10.0,
+            "error_rate": 0.0,
+            "latency_ms": {"p50": 1.0, "p95": 2.0, "p99": 3.0},
+            "slo_met": True,
+            **extra,
+        }
+
+    def test_split_table_appears_for_cross_metric_points(self):
+        point = self._point(
+            per_metric_latency_ms={
+                "esd": {"p50": 1.0, "p95": 2.0, "p99": 3.0, "samples": 10},
+                "truss": {"p50": 9.0, "p95": 20.0, "p99": 30.0, "samples": 10},
+            }
+        )
+        tables = render_tables(self._payload(point))
+        titles = [t.title for t in tables]
+        assert "per-metric latency (open-loop)" in titles
+        split = tables[titles.index("per-metric latency (open-loop)")]
+        rendered = split.render()
+        assert "truss" in rendered and "esd" in rendered
+
+    def test_no_split_table_without_the_key(self):
+        tables = render_tables(self._payload(self._point()))
+        titles = [t.title for t in tables]
+        assert "per-metric latency (open-loop)" not in titles

@@ -8,7 +8,10 @@ from repro.core.diversity import (
     edge_structural_diversity,
 )
 from repro.core.maintenance import DynamicESDIndex
-from repro.analytics.betweenness import edge_betweenness
+from repro.analytics.betweenness import (
+    all_edge_ego_betweenness,
+    edge_betweenness,
+)
 from repro.analytics.truss import truss_numbers
 from repro.graph import Graph, paper_example_graph
 from repro.graph.graph import canonical_edge
@@ -25,9 +28,13 @@ from repro.metrics import (
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert {"esd", "truss", "betweenness", "common_neighbors"} <= set(
-            metric_names()
-        )
+        assert {
+            "esd",
+            "truss",
+            "betweenness",
+            "betweenness_global",
+            "common_neighbors",
+        } <= set(metric_names())
         assert DEFAULT_METRIC == "esd"
 
     def test_unknown_metric_raises_with_choices(self):
@@ -121,8 +128,20 @@ class TestGraphScorers:
         assert dict(scorer.topk(k4, 6)) == numbers
         assert scorer.score(k4, (0, 99)) == 0
 
-    def test_betweenness_scores_and_topk(self, path4):
+    def test_betweenness_is_ego_betweenness(self, path4):
         scorer = get_metric("betweenness")
+        table = all_edge_ego_betweenness(path4)
+        top = scorer.topk(path4, 3)
+        assert dict(top) == table
+        # The middle edge of a path bridges the most 2-hop pairs.
+        assert top[0][0] == (1, 2)
+        # score() answers locally, without building the table.
+        for edge, value in top:
+            assert scorer.score(path4, edge) == value
+        assert scorer.score(path4, (0, 3)) == 0.0
+
+    def test_betweenness_global_is_brandes(self, path4):
+        scorer = get_metric("betweenness_global")
         table = edge_betweenness(path4)
         top = scorer.topk(path4, 3)
         assert dict(top) == pytest.approx(table)
@@ -135,6 +154,17 @@ class TestGraphScorers:
         assert all(score == 2 for _, score in scorer.topk(k4, 6))
         assert scorer.score(k4, (0, 1)) == 2
         assert scorer.score(k4, (0, 99)) == 0
+
+    def test_common_neighbors_score_skips_the_memo(self, k4):
+        # A point query is O(min-degree); it must not pay for (or
+        # populate) the whole-graph topk table.
+        from repro.metrics import CommonNeighborsScorer
+
+        scorer = CommonNeighborsScorer()
+        assert scorer.score(k4, (0, 1)) == 2
+        assert scorer._memo.computes == 0
+        scorer.topk(k4, 2)
+        assert scorer._memo.computes == 1
 
 
 class TestRevisionMemo:

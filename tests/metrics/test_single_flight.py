@@ -1,0 +1,98 @@
+"""Single-flight memoization: one compute per stale revision, ever.
+
+The stampede test holds the leader's computation open on an event while
+the other threads arrive, so the ``waits``/``stampedes_avoided``
+counters are exercised deterministically instead of depending on
+scheduler timing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.graph.graph import Graph
+from repro.metrics import TrussScorer
+from repro.metrics.scorers import _RevisionMemo
+
+THREADS = 8
+
+
+def test_stampede_serves_every_waiter_from_one_compute():
+    release = threading.Event()
+    compute_calls = []
+
+    def compute(graph, prev):
+        compute_calls.append(threading.get_ident())
+        assert release.wait(10.0), "test deadlock: release never set"
+        return {"revision": graph.revision}
+
+    memo = _RevisionMemo(compute)
+    graph = Graph([("a", "b")])
+    results = []
+
+    def query() -> None:
+        results.append(memo.get(graph))
+
+    threads = [
+        threading.Thread(target=query) for _ in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    # Let the leader enter compute and every follower block on the
+    # condition variable before releasing; the waits counter is bumped
+    # *before* a follower sleeps, so polling it is race-free.
+    deadline = time.monotonic() + 10.0
+    while memo.waits < THREADS - 1 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    release.set()
+    for thread in threads:
+        thread.join(timeout=10.0)
+
+    assert len(compute_calls) == 1
+    assert results == [{"revision": graph.revision}] * THREADS
+    stats = memo.stats()
+    assert stats["computes"] == 1
+    assert stats["waits"] == THREADS - 1
+    assert stats["stampedes_avoided"] == THREADS - 1
+
+
+def test_one_compute_per_revision_without_a_gate():
+    # Whatever the interleaving -- all-waiting, all-sequential, or a mix
+    # -- a revision is computed exactly once.
+    graph = Graph([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+    scorer = TrussScorer()
+    for round_no in range(3):
+        before = scorer._memo.computes
+        threads = [
+            threading.Thread(target=lambda: scorer.topk(graph, 2))
+            for _ in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert scorer._memo.computes == before + 1
+        graph.add_edge("d", f"e{round_no}")  # stale the next round
+
+
+def test_failed_compute_releases_the_flight():
+    boom = [True]
+
+    def compute(graph, prev):
+        if boom[0]:
+            raise RuntimeError("transient")
+        return {"ok": True}
+
+    memo = _RevisionMemo(compute)
+    graph = Graph([("a", "b")])
+    try:
+        memo.get(graph)
+    except RuntimeError:
+        pass
+    else:
+        raise AssertionError("expected the compute error to propagate")
+    boom[0] = False
+    # The failed flight must not wedge the memo: the next query leads.
+    assert memo.get(graph) == {"ok": True}
+    assert memo.stats()["computes"] == 2
